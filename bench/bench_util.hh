@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: paper-style table printing
+ * with side-by-side paper-reported values and deltas.
+ */
+
+#ifndef KVMARM_BENCH_BENCH_UTIL_HH
+#define KVMARM_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace kvmarm::bench {
+
+/** One row: a label, measured values, and the paper's values (0 = n/a). */
+struct Row
+{
+    std::string name;
+    std::vector<double> measured;
+    std::vector<double> paper;
+};
+
+/** Print a table comparing measured vs paper values column by column. */
+void printTable(const std::string &title,
+                const std::vector<std::string> &columns,
+                const std::vector<Row> &rows, const std::string &footer = "",
+                int precision = 0);
+
+/** Print a normalized-overhead figure (values around 1.0). */
+void printFigure(const std::string &title,
+                 const std::vector<std::string> &series,
+                 const std::vector<Row> &rows,
+                 const std::string &footer = "");
+
+} // namespace kvmarm::bench
+
+#endif // KVMARM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,24 @@
+#include "arm/hsr.hh"
+
+namespace kvmarm::arm {
+
+const char *
+excClassName(ExcClass ec)
+{
+    switch (ec) {
+      case ExcClass::Unknown: return "unknown";
+      case ExcClass::Wfi: return "wfi";
+      case ExcClass::Cp15Trap: return "cp15";
+      case ExcClass::Cp14Trap: return "cp14";
+      case ExcClass::Hvc: return "hvc";
+      case ExcClass::Smc: return "smc";
+      case ExcClass::PrefetchAbort: return "iabt";
+      case ExcClass::DataAbort: return "dabt";
+      case ExcClass::Irq: return "irq";
+      case ExcClass::TimerTrap: return "timer";
+      case ExcClass::FpTrap: return "fp";
+    }
+    return "?";
+}
+
+} // namespace kvmarm::arm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hyp-mode configuration state: the lowvisor's "own dedicated configuration
+ * registers only for use in Hyp mode" (paper §3.2). This state is never
+ * part of the VM-visible context and is not context switched; it is what
+ * the world switch *programs* to change worlds.
+ */
+
+#ifndef KVMARM_ARM_HYP_STATE_HH
+#define KVMARM_ARM_HYP_STATE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace kvmarm::arm {
+
+/** Hyp Configuration Register (HCR) trap bits used by KVM/ARM. */
+struct Hcr
+{
+    bool vm = false;  //!< enable Stage-2 translation for PL0/PL1
+    bool swio = false; //!< trap set/way cache operations
+    bool imo = false; //!< physical IRQs route to Hyp mode
+    bool fmo = false; //!< physical FIQs route to Hyp mode
+    bool twi = false; //!< trap WFI
+    bool twe = false; //!< trap WFE
+    bool tsc = false; //!< trap SMC
+    bool tac = false; //!< trap ACTLR accesses
+    bool tidcp = false; //!< trap implementation-defined CP15 (L2CTLR...)
+    bool vi = false;  //!< assert a virtual IRQ to the guest (software
+                      //!< injection path used when there is no VGIC)
+
+    bool operator==(const Hcr &) const = default;
+};
+
+/** Full Hyp-mode control state of one physical CPU. */
+struct HypState
+{
+    Hcr hcr;
+
+    /** Stage-2 translation table base + VMID (VTTBR). */
+    std::uint64_t vttbr = 0;
+
+    /** Hyp-mode Stage-1 translation table base (HTTBR). */
+    Addr httbr = 0;
+
+    /** Hyp-mode MMU enable (HSCTLR.M). */
+    bool hsctlrM = false;
+
+    /** Hyp debug config: trap CP14 debug/trace accesses (HDCR.TDE etc.). */
+    bool trapCp14 = false;
+
+    /** Trap VFP/coprocessor accesses for lazy FP switching (HCPTR). */
+    bool trapFpu = false;
+
+    /** CNTHCTL: PL1 access to the physical counter/timer. When false,
+     *  kernel-mode physical timer accesses trap to Hyp. */
+    bool pl1PhysTimerAccess = true;
+
+    /** Virtual counter offset: CNTVCT = CNTPCT - CNTVOFF. */
+    std::uint64_t cntvoff = 0;
+
+    /** Hyp stack pointer and Hyp-local thread register (HTPIDR): the
+     *  lowvisor keeps its per-CPU data pointer here. */
+    std::uint32_t hypSp = 0;
+    std::uint32_t htpidr = 0;
+
+    /** VMID currently programmed (bits of VTTBR). */
+    std::uint16_t vmid() const { return (vttbr >> 48) & 0xff; }
+};
+
+/** Number of HCR trap-control knobs written during a world switch; the
+ *  cost model charges one system-register write per knob group. */
+inline constexpr unsigned kWorldSwitchTrapConfigWrites = 5;
+
+} // namespace kvmarm::arm
+
+#endif // KVMARM_ARM_HYP_STATE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The assembled ARM machine: CPUs, RAM, bus, GIC (+VGIC), generic timers.
+ * The memory map is a clean Arndale-like layout; the same map doubles as
+ * the guest-physical (IPA) layout of VMs, with the twist that a VM's view
+ * of the GICC address is Stage-2 mapped to the physical GICV (paper §3.5).
+ */
+
+#ifndef KVMARM_ARM_MACHINE_HH
+#define KVMARM_ARM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "arm/cost.hh"
+#include "arm/cpu.hh"
+#include "arm/gic.hh"
+#include "arm/timer.hh"
+#include "arm/vgic.hh"
+#include "mem/bus.hh"
+#include "mem/phys_mem.hh"
+#include "sim/machine_base.hh"
+
+namespace kvmarm::arm {
+
+/** A multicore ARMv7 machine with virtualization extensions. */
+class ArmMachine : public MachineBase
+{
+  public:
+    struct Config
+    {
+        unsigned numCpus = 2;
+        Addr ramSize = 512 * kMiB;
+        bool hwVgic = true;    //!< GICv2 virtualization extensions present
+        bool hwVtimers = true; //!< generic-timer virtualization present
+        /** CPU clock in Hz; Arndale's Cortex-A15 runs at 1.7 GHz. Used to
+         *  convert cycles to seconds for the energy model. */
+        double clockHz = 1.7e9;
+        ArmCostModel cost;
+    };
+
+    /// @name Physical memory map
+    /// @{
+    static constexpr Addr kGicdBase = 0x08000000;
+    static constexpr Addr kGiccBase = 0x08010000;
+    static constexpr Addr kGicvBase = 0x08020000;
+    static constexpr Addr kGichBase = 0x08030000;
+    static constexpr Addr kUartBase = 0x09000000;
+    static constexpr Addr kVirtioBase = 0x0A000000; //!< 0x1000 per slot
+    static constexpr Addr kGicRegionSize = 0x1000;
+    static constexpr Addr kRamBase = 0x80000000;
+    /// @}
+
+    ArmMachine() : ArmMachine(Config{}) {}
+    explicit ArmMachine(const Config &config);
+
+    const Config &config() const { return config_; }
+    const ArmCostModel &cost() const { return config_.cost; }
+
+    ArmCpu &cpu(CpuId id) { return *cpus_.at(id); }
+    PhysMem &ram() { return ram_; }
+    Bus &bus() { return bus_; }
+    GicDistributor &gicd() { return gicd_; }
+    GicCpuInterface &gicc() { return gicc_; }
+    VgicHypInterface &gich() { return gich_; }
+    const VgicHypInterface &gich() const { return gich_; }
+    VgicCpuInterface &gicv() { return gicv_; }
+    GenericTimer &timer() { return timer_; }
+
+    /** Seconds of simulated time corresponding to @p c cycles. */
+    double seconds(Cycles c) const { return double(c) / config_.clockHz; }
+
+  private:
+    Config config_;
+    PhysMem ram_;
+    Bus bus_;
+    GicDistributor gicd_;
+    GicCpuInterface gicc_;
+    VgicHypInterface gich_;
+    VgicCpuInterface gicv_;
+    GenericTimer timer_;
+    std::vector<std::unique_ptr<ArmCpu>> cpus_;
+};
+
+} // namespace kvmarm::arm
+
+#endif // KVMARM_ARM_MACHINE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ARMv7 CPU modes and privilege levels (paper §2, Figure 1).
+ *
+ * TrustZone's secure world is modelled only far enough to reproduce the
+ * paper's point that it cannot host a trap-and-emulate hypervisor: the
+ * machine powers up in Monitor mode and the boot path transitions to the
+ * non-secure world, where Hyp mode (PL2) is the only mode strictly more
+ * privileged than kernel mode.
+ */
+
+#ifndef KVMARM_ARM_MODES_HH
+#define KVMARM_ARM_MODES_HH
+
+#include <cstdint>
+
+namespace kvmarm::arm {
+
+/** ARMv7 processor modes. */
+enum class Mode : std::uint8_t
+{
+    Usr, //!< PL0 user
+    Fiq, //!< PL1 fast interrupt
+    Irq, //!< PL1 interrupt
+    Svc, //!< PL1 supervisor ("kernel mode")
+    Mon, //!< Secure PL1 monitor
+    Abt, //!< PL1 abort
+    Und, //!< PL1 undefined
+    Hyp, //!< PL2 hypervisor
+};
+
+/** Privilege level of a mode: 0, 1 or 2. */
+constexpr unsigned
+privilegeLevel(Mode m)
+{
+    switch (m) {
+      case Mode::Usr:
+        return 0;
+      case Mode::Hyp:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+/** True for any PL1 mode (the "kernel mode" family). */
+constexpr bool
+isKernel(Mode m)
+{
+    return privilegeLevel(m) == 1;
+}
+
+constexpr const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Usr: return "usr";
+      case Mode::Fiq: return "fiq";
+      case Mode::Irq: return "irq";
+      case Mode::Svc: return "svc";
+      case Mode::Mon: return "mon";
+      case Mode::Abt: return "abt";
+      case Mode::Und: return "und";
+      case Mode::Hyp: return "hyp";
+    }
+    return "?";
+}
+
+} // namespace kvmarm::arm
+
+#endif // KVMARM_ARM_MODES_HH

@@ -1,0 +1,115 @@
+#include "arm/registers.hh"
+
+#include "sim/logging.hh"
+
+namespace kvmarm::arm {
+
+const char *
+gpRegName(GpReg r)
+{
+    switch (r) {
+      case GpReg::R0: return "r0";
+      case GpReg::R1: return "r1";
+      case GpReg::R2: return "r2";
+      case GpReg::R3: return "r3";
+      case GpReg::R4: return "r4";
+      case GpReg::R5: return "r5";
+      case GpReg::R6: return "r6";
+      case GpReg::R7: return "r7";
+      case GpReg::R8: return "r8";
+      case GpReg::R9: return "r9";
+      case GpReg::R10: return "r10";
+      case GpReg::R11: return "r11";
+      case GpReg::R12: return "r12";
+      case GpReg::SpUsr: return "sp_usr";
+      case GpReg::LrUsr: return "lr_usr";
+      case GpReg::SpSvc: return "sp_svc";
+      case GpReg::LrSvc: return "lr_svc";
+      case GpReg::SpAbt: return "sp_abt";
+      case GpReg::LrAbt: return "lr_abt";
+      case GpReg::SpUnd: return "sp_und";
+      case GpReg::LrUnd: return "lr_und";
+      case GpReg::SpIrq: return "sp_irq";
+      case GpReg::LrIrq: return "lr_irq";
+      case GpReg::R8Fiq: return "r8_fiq";
+      case GpReg::R9Fiq: return "r9_fiq";
+      case GpReg::R10Fiq: return "r10_fiq";
+      case GpReg::R11Fiq: return "r11_fiq";
+      case GpReg::R12Fiq: return "r12_fiq";
+      case GpReg::SpFiq: return "sp_fiq";
+      case GpReg::LrFiq: return "lr_fiq";
+      case GpReg::Pc: return "pc";
+      case GpReg::Cpsr: return "cpsr";
+      case GpReg::SpsrSvc: return "spsr_svc";
+      case GpReg::SpsrAbt: return "spsr_abt";
+      case GpReg::SpsrUnd: return "spsr_und";
+      case GpReg::SpsrIrq: return "spsr_irq";
+      case GpReg::SpsrFiq: return "spsr_fiq";
+      case GpReg::ElrHyp: return "elr_hyp";
+      case GpReg::NumRegs: break;
+    }
+    panic("gpRegName: bad register");
+}
+
+const char *
+ctrlRegName(CtrlReg r)
+{
+    switch (r) {
+      case CtrlReg::MIDR: return "MIDR";
+      case CtrlReg::MPIDR: return "MPIDR";
+      case CtrlReg::CSSELR: return "CSSELR";
+      case CtrlReg::SCTLR: return "SCTLR";
+      case CtrlReg::CPACR: return "CPACR";
+      case CtrlReg::TTBR0Lo: return "TTBR0_lo";
+      case CtrlReg::TTBR0Hi: return "TTBR0_hi";
+      case CtrlReg::TTBR1Lo: return "TTBR1_lo";
+      case CtrlReg::TTBR1Hi: return "TTBR1_hi";
+      case CtrlReg::TTBCR: return "TTBCR";
+      case CtrlReg::DACR: return "DACR";
+      case CtrlReg::DFSR: return "DFSR";
+      case CtrlReg::IFSR: return "IFSR";
+      case CtrlReg::ADFSR: return "ADFSR";
+      case CtrlReg::AIFSR: return "AIFSR";
+      case CtrlReg::DFAR: return "DFAR";
+      case CtrlReg::IFAR: return "IFAR";
+      case CtrlReg::PARLo: return "PAR_lo";
+      case CtrlReg::PARHi: return "PAR_hi";
+      case CtrlReg::MAIR0: return "MAIR0";
+      case CtrlReg::MAIR1: return "MAIR1";
+      case CtrlReg::VBAR: return "VBAR";
+      case CtrlReg::CONTEXTIDR: return "CONTEXTIDR";
+      case CtrlReg::TPIDRURW: return "TPIDRURW";
+      case CtrlReg::TPIDRURO: return "TPIDRURO";
+      case CtrlReg::TPIDRPRW: return "TPIDRPRW";
+      case CtrlReg::NumRegs: break;
+    }
+    panic("ctrlRegName: bad register");
+}
+
+std::vector<StateInventoryRow>
+stateInventory()
+{
+    // Counts are derived from the register-file definitions so this table
+    // can never drift from what the world switch actually saves.
+    return {
+        {"Context Switch", std::to_string(kNumGpRegs),
+         "General Purpose (GP) Registers"},
+        {"Context Switch", std::to_string(kNumCtrlRegs),
+         "Control Registers"},
+        {"Context Switch", "16", "VGIC Control Registers"},
+        {"Context Switch", "4", "VGIC List Registers"},
+        {"Context Switch", "2", "Arch. Timer Control Registers"},
+        {"Context Switch", std::to_string(kNumVfpDataRegs),
+         "64-bit VFP registers"},
+        {"Context Switch", std::to_string(kNumVfpCtrlRegs),
+         "32-bit VFP Control Registers"},
+        {"Trap-and-Emulate", "-", "CP14 Trace Registers"},
+        {"Trap-and-Emulate", "-", "WFI Instructions"},
+        {"Trap-and-Emulate", "-", "SMC Instructions"},
+        {"Trap-and-Emulate", "-", "ACTLR Access"},
+        {"Trap-and-Emulate", "-", "Cache ops. by Set/Way"},
+        {"Trap-and-Emulate", "-", "L2CTLR / L2ECTLR Registers"},
+    };
+}
+
+} // namespace kvmarm::arm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The CPU register state visible to kernel- and user-mode software on a
+ * Cortex-A15, grouped exactly as the paper's Table 1: 38 general purpose
+ * registers and 26 control registers are context switched on every world
+ * switch; VFP state (32 x 64-bit + 4 control) is switched lazily; the
+ * remaining state is trap-and-emulated.
+ */
+
+#ifndef KVMARM_ARM_REGISTERS_HH
+#define KVMARM_ARM_REGISTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kvmarm::arm {
+
+/**
+ * The 38 general purpose registers of Table 1: r0-r12, the user sp/lr, the
+ * banked sp/lr of each PL1 mode, the FIQ bank, pc, cpsr, the banked SPSRs,
+ * and the Hyp return address (ELR_hyp).
+ */
+enum class GpReg : std::uint8_t
+{
+    R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12,
+    SpUsr, LrUsr,
+    SpSvc, LrSvc,
+    SpAbt, LrAbt,
+    SpUnd, LrUnd,
+    SpIrq, LrIrq,
+    R8Fiq, R9Fiq, R10Fiq, R11Fiq, R12Fiq, SpFiq, LrFiq,
+    Pc,
+    Cpsr,
+    SpsrSvc, SpsrAbt, SpsrUnd, SpsrIrq, SpsrFiq,
+    ElrHyp,
+    NumRegs,
+};
+
+inline constexpr unsigned kNumGpRegs = static_cast<unsigned>(GpReg::NumRegs);
+static_assert(kNumGpRegs == 38, "Table 1: 38 general purpose registers");
+
+/**
+ * The 26 control (CP15) registers that KVM/ARM context switches during
+ * world switches. 64-bit registers (TTBRx, PAR) occupy two slots, matching
+ * how the hardware exposes them to 32-bit software.
+ */
+enum class CtrlReg : std::uint8_t
+{
+    MIDR,       //!< main ID (shadowed per VM, step 7 of the world switch)
+    MPIDR,      //!< multiprocessor affinity (shadowed per VCPU)
+    CSSELR,     //!< cache size selection
+    SCTLR,      //!< system control
+    CPACR,      //!< coprocessor access control
+    TTBR0Lo, TTBR0Hi, //!< translation table base 0 (64-bit LPAE)
+    TTBR1Lo, TTBR1Hi, //!< translation table base 1 (64-bit LPAE)
+    TTBCR,      //!< translation table base control
+    DACR,       //!< domain access control
+    DFSR,       //!< data fault status
+    IFSR,       //!< instruction fault status
+    ADFSR,      //!< auxiliary data fault status
+    AIFSR,      //!< auxiliary instruction fault status
+    DFAR,       //!< data fault address
+    IFAR,       //!< instruction fault address
+    PARLo, PARHi, //!< physical address after translation (64-bit)
+    MAIR0,      //!< memory attribute indirection 0 (PRRR)
+    MAIR1,      //!< memory attribute indirection 1 (NMRR)
+    VBAR,       //!< vector base address
+    CONTEXTIDR, //!< context ID (ASID)
+    TPIDRURW,   //!< user read/write thread ID
+    TPIDRURO,   //!< user read-only thread ID
+    TPIDRPRW,   //!< privileged thread ID
+    NumRegs,
+};
+
+inline constexpr unsigned kNumCtrlRegs =
+    static_cast<unsigned>(CtrlReg::NumRegs);
+static_assert(kNumCtrlRegs == 26, "Table 1: 26 control registers");
+
+/** VFP: 32 64-bit data registers plus 4 32-bit control registers. */
+inline constexpr unsigned kNumVfpDataRegs = 32;
+
+enum class VfpCtrlReg : std::uint8_t
+{
+    FPSCR,
+    FPEXC,
+    FPINST,
+    FPINST2,
+    NumRegs,
+};
+
+inline constexpr unsigned kNumVfpCtrlRegs =
+    static_cast<unsigned>(VfpCtrlReg::NumRegs);
+static_assert(kNumVfpCtrlRegs == 4, "Table 1: 4 32-bit VFP control regs");
+
+/** Full context-switched register file of one CPU (or one VCPU context). */
+struct RegisterFile
+{
+    std::array<std::uint32_t, kNumGpRegs> gp{};
+    std::array<std::uint32_t, kNumCtrlRegs> ctrl{};
+    std::array<std::uint64_t, kNumVfpDataRegs> vfp{};
+    std::array<std::uint32_t, kNumVfpCtrlRegs> vfpCtrl{};
+
+    std::uint32_t &operator[](GpReg r) { return gp[unsigned(r)]; }
+    std::uint32_t operator[](GpReg r) const { return gp[unsigned(r)]; }
+    std::uint32_t &operator[](CtrlReg r) { return ctrl[unsigned(r)]; }
+    std::uint32_t operator[](CtrlReg r) const { return ctrl[unsigned(r)]; }
+
+    /** Read a 64-bit LPAE register spanning two slots. */
+    std::uint64_t
+    read64(CtrlReg lo, CtrlReg hi) const
+    {
+        return (std::uint64_t(ctrl[unsigned(hi)]) << 32) |
+               ctrl[unsigned(lo)];
+    }
+
+    /** Write a 64-bit LPAE register spanning two slots. */
+    void
+    write64(CtrlReg lo, CtrlReg hi, std::uint64_t v)
+    {
+        ctrl[unsigned(lo)] = static_cast<std::uint32_t>(v);
+        ctrl[unsigned(hi)] = static_cast<std::uint32_t>(v >> 32);
+    }
+
+    bool operator==(const RegisterFile &) const = default;
+};
+
+const char *gpRegName(GpReg r);
+const char *ctrlRegName(CtrlReg r);
+
+/** One row of the paper's Table 1. */
+struct StateInventoryRow
+{
+    std::string action; //!< "Context Switch" / "Trap-and-Emulate"
+    std::string count;  //!< number of registers, or "-"
+    std::string what;
+};
+
+/** The full Table 1 inventory, derived from the definitions above. */
+std::vector<StateInventoryRow> stateInventory();
+
+} // namespace kvmarm::arm
+
+#endif // KVMARM_ARM_REGISTERS_HH

@@ -1,0 +1,66 @@
+#include "arm/tlb.hh"
+
+#include <algorithm>
+
+namespace kvmarm::arm {
+
+const TlbEntry *
+Tlb::lookup(const TlbKey &key) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+void
+Tlb::insert(const TlbKey &key, const TlbEntry &entry)
+{
+    if (map_.count(key) == 0) {
+        while (map_.size() >= capacity_ && !fifo_.empty()) {
+            map_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+        fifo_.push_back(key);
+    }
+    map_[key] = entry;
+}
+
+void
+Tlb::flushAll()
+{
+    map_.clear();
+    fifo_.clear();
+}
+
+void
+Tlb::flushVmid(std::uint8_t vmid)
+{
+    for (auto it = map_.begin(); it != map_.end();) {
+        if (it->first.vmid == vmid)
+            it = map_.erase(it);
+        else
+            ++it;
+    }
+    fifo_.erase(std::remove_if(fifo_.begin(), fifo_.end(),
+                               [vmid](const TlbKey &k) {
+                                   return k.vmid == vmid;
+                               }),
+                fifo_.end());
+}
+
+void
+Tlb::flushVa(Addr vpage)
+{
+    for (auto it = map_.begin(); it != map_.end();) {
+        if (it->first.vpage == vpage)
+            it = map_.erase(it);
+        else
+            ++it;
+    }
+    fifo_.erase(std::remove_if(fifo_.begin(), fifo_.end(),
+                               [vpage](const TlbKey &k) {
+                                   return k.vpage == vpage;
+                               }),
+                fifo_.end());
+}
+
+} // namespace kvmarm::arm

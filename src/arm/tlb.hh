@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A simple unified TLB caching completed translations (combined Stage-1 +
+ * Stage-2), tagged by regime, VMID and ASID as on hardware, with FIFO
+ * replacement.
+ */
+
+#ifndef KVMARM_ARM_TLB_HH
+#define KVMARM_ARM_TLB_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "arm/pagetable.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::arm {
+
+/** Translation regime a TLB entry belongs to. */
+enum class TlbRegime : std::uint8_t
+{
+    Pl0Pl1, //!< kernel/user Stage-1 (+ Stage-2 when in a VM)
+    Hyp,    //!< Hyp-mode Stage-1
+};
+
+struct TlbKey
+{
+    TlbRegime regime;
+    std::uint8_t vmid;
+    std::uint32_t asid;
+    Addr vpage;
+
+    bool operator==(const TlbKey &) const = default;
+};
+
+struct TlbKeyHash
+{
+    std::size_t
+    operator()(const TlbKey &k) const
+    {
+        std::size_t h = k.vpage * 0x9E3779B97F4A7C15ull;
+        h ^= (std::size_t(k.asid) << 17) ^ (std::size_t(k.vmid) << 9) ^
+             std::size_t(k.regime);
+        return h;
+    }
+};
+
+struct TlbEntry
+{
+    Addr ppage = 0;
+    Perms s1Perms;      //!< Stage-1 permissions (identity when S1 off)
+    Perms s2Perms;      //!< Stage-2 permissions (all-allow when S2 off)
+    bool hasStage2 = false;
+    bool device = false;
+};
+
+/** Fully associative, FIFO-replaced TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t capacity = 256) : capacity_(capacity) {}
+
+    const TlbEntry *lookup(const TlbKey &key) const;
+    void insert(const TlbKey &key, const TlbEntry &entry);
+
+    void flushAll();
+    void flushVmid(std::uint8_t vmid);
+    void flushVa(Addr vpage);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return map_.size(); }
+
+    /** Count a lookup outcome (maintained by the MMU). */
+    void countHit() { ++hits_; }
+    void countMiss() { ++misses_; }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> map_;
+    std::deque<TlbKey> fifo_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace kvmarm::arm
+
+#endif // KVMARM_ARM_TLB_HH

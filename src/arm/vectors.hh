@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Interfaces through which the machine calls into simulated software.
+ *
+ * HypVectors is the Hyp-mode exception vector table (installed by the
+ * lowvisor, or by a bare-metal hypervisor). OsVectors is a PL1 kernel's
+ * vector table; the world switch swaps which kernel — host Linux or the
+ * guest OS — receives PL1 exceptions, exactly as VBAR is context switched.
+ */
+
+#ifndef KVMARM_ARM_VECTORS_HH
+#define KVMARM_ARM_VECTORS_HH
+
+#include <cstdint>
+
+#include "arm/hsr.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::arm {
+
+class ArmCpu;
+
+/** Hyp-mode exception vectors. */
+class HypVectors
+{
+  public:
+    virtual ~HypVectors() = default;
+
+    /** Any trap into Hyp mode: HVC, sensitive instruction, Stage-2 abort,
+     *  or a physical interrupt routed to Hyp (HCR.IMO). */
+    virtual void hypTrap(ArmCpu &cpu, const Hsr &hsr) = 0;
+
+    /** Short name for diagnostics. */
+    virtual const char *name() const = 0;
+};
+
+/** PL1 (kernel mode) exception vectors of whichever OS currently runs. */
+class OsVectors
+{
+  public:
+    virtual ~OsVectors() = default;
+
+    /** Hardware or virtual IRQ delivered to kernel mode. The handler must
+     *  ACK and EOI through its GIC CPU interface. */
+    virtual void irq(ArmCpu &cpu) = 0;
+
+    /** Supervisor call from user mode. */
+    virtual void svc(ArmCpu &cpu, std::uint32_t num) = 0;
+
+    /**
+     * Stage-1 data/prefetch abort (the OS's own demand paging).
+     * @return true if resolved (retry the access), false to kill the
+     *         faulting task.
+     */
+    virtual bool pageFault(ArmCpu &cpu, Addr va, bool write, bool user) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+} // namespace kvmarm::arm
+
+#endif // KVMARM_ARM_VECTORS_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A minimal bare-metal hypervisor that lives entirely in Hyp mode — the
+ * design point the paper contrasts split-mode virtualization against
+ * (§3.1, §7, Xen-style). Because there is no host kernel to return to,
+ * traps it can handle itself need no world switch (no double trap); the
+ * price is that it must bring its own memory allocator (static VM
+ * partitioning here), its own scheduler (none — one VM per core), and
+ * every device driver it wants (§3: "for every new SoC ... the developers
+ * must implement a new serial device driver in the core hypervisor").
+ *
+ * Used by bench/ablation_split_mode to quantify what the split actually
+ * costs and buys.
+ */
+
+#ifndef KVMARM_BAREMETAL_BAREMETAL_HV_HH
+#define KVMARM_BAREMETAL_BAREMETAL_HV_HH
+
+#include <functional>
+#include <vector>
+
+#include "arm/machine.hh"
+#include "arm/pagetable.hh"
+#include "arm/vectors.hh"
+
+namespace kvmarm::baremetal {
+
+/// Hypercall numbers of the bare-metal hypervisor.
+namespace bmhvc {
+inline constexpr std::uint32_t kTestHypercall = 0xB3000001;
+inline constexpr std::uint32_t kStopGuest = 0xB3000002;
+} // namespace bmhvc
+
+/** The Hyp-resident hypervisor; boots directly from the loader. */
+class BareMetalHv : public arm::HypVectors
+{
+  public:
+    explicit BareMetalHv(arm::ArmMachine &machine);
+
+    /**
+     * Bring up the hypervisor on @p cpu: install the Hyp vectors, build
+     * the (statically partitioned) Stage-2 tables and the Hyp Stage-1
+     * tables from the hypervisor's own bump allocator.
+     */
+    void boot(arm::ArmCpu &cpu);
+
+    /** Statically assign a guest RAM partition (one per VM). */
+    void createGuest(Addr ipa_ram_size);
+
+    /**
+     * Enter the guest on @p cpu and run @p guest_main inside it. Traps
+     * the hypervisor can dispose of are handled in Hyp mode without any
+     * world switch.
+     */
+    void runGuest(arm::ArmCpu &cpu,
+                  const std::function<void(arm::ArmCpu &)> &guest_main,
+                  arm::OsVectors *guest_os);
+
+    /** In-hypervisor emulated test device (for the I/O ablation). */
+    static constexpr Addr kHypDevBase = 0x0B000000;
+
+    /// @name arm::HypVectors
+    /// @{
+    void hypTrap(arm::ArmCpu &cpu, const arm::Hsr &hsr) override;
+    const char *name() const override { return "baremetal-hv"; }
+    /// @}
+
+    StatGroup stats;
+
+  private:
+    Addr allocPage();
+    void handleStage2Fault(arm::ArmCpu &cpu, const arm::Hsr &hsr);
+
+    arm::ArmMachine &machine_;
+    Addr bumpNext_ = 0; //!< the hypervisor's own static allocator
+    Addr guestRamSize_ = 0;
+    Addr guestRamPa_ = 0; //!< static partition base
+    std::unique_ptr<arm::PageTableEditor> s2Editor_;
+    Addr s2Root_ = 0;
+    Addr hypRoot_ = 0;
+    bool stopRequested_ = false;
+};
+
+} // namespace kvmarm::baremetal
+
+#endif // KVMARM_BAREMETAL_BAREMETAL_HV_HH

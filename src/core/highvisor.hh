@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The highvisor (paper §3.1): the kernel-mode bulk of KVM/ARM. Runs as
+ * part of the host kernel and leverages its services — memory allocation
+ * via get_user_pages for Stage-2 faults, software timers for virtual timer
+ * multiplexing, the scheduler for WFI blocking — plus MMIO decode and
+ * emulation dispatch (in-kernel devices, the virtual distributor, or exits
+ * to user space).
+ */
+
+#ifndef KVMARM_CORE_HIGHVISOR_HH
+#define KVMARM_CORE_HIGHVISOR_HH
+
+#include "arm/hsr.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::arm {
+class ArmCpu;
+} // namespace kvmarm::arm
+
+namespace kvmarm::core {
+
+class Kvm;
+class VCpu;
+
+/** Kernel-mode exit handling. */
+class Highvisor
+{
+  public:
+    explicit Highvisor(Kvm &kvm);
+
+    /** Handle a guest exit; runs in kernel mode after the world switch to
+     *  the host. */
+    void handleExit(arm::ArmCpu &cpu, VCpu &vcpu, const arm::Hsr &hsr);
+
+  private:
+    void handleDataAbort(arm::ArmCpu &cpu, VCpu &vcpu, const arm::Hsr &hsr);
+    void handleMmio(arm::ArmCpu &cpu, VCpu &vcpu, Addr ipa,
+                    const arm::Hsr &hsr);
+    void handleWfi(arm::ArmCpu &cpu, VCpu &vcpu);
+    void handleSysTrap(arm::ArmCpu &cpu, VCpu &vcpu, const arm::Hsr &hsr);
+    void handleHvc(arm::ArmCpu &cpu, VCpu &vcpu, const arm::Hsr &hsr);
+
+    Kvm &kvm_;
+};
+
+} // namespace kvmarm::core
+
+#endif // KVMARM_CORE_HIGHVISOR_HH

@@ -1,0 +1,88 @@
+#include "core/kvm.hh"
+
+#include "arm/machine.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm::core {
+
+namespace {
+
+/** Clamp requested features to what the hardware provides. */
+KvmConfig
+clampConfig(KvmConfig cfg, const arm::ArmMachine::Config &hw)
+{
+    cfg.useVgic = cfg.useVgic && hw.hwVgic;
+    cfg.useVtimers = cfg.useVtimers && hw.hwVtimers;
+    return cfg;
+}
+
+} // namespace
+
+Kvm::Kvm(host::HostKernel &host, const KvmConfig &config)
+    : host_(host), config_(clampConfig(config, host.machine().config())),
+      hypMem_(host.machine(), host.mm()), lowvisor_(*this),
+      highvisor_(*this), vtimer_(*this)
+{
+}
+
+void
+Kvm::registerHostIrqHandlers()
+{
+    if (irqHandlersRegistered_)
+        return;
+    irqHandlersRegistered_ = true;
+
+    // Virtual timer PPI: the guest's hardware virtual timer fires as a
+    // hardware interrupt; inject the virtual counterpart (paper §3.6).
+    host_.requestIrq(arm::kVirtTimerPpi,
+                     [this](arm::ArmCpu &cpu, IrqId) {
+                         if (VCpu *v = lowvisor_.running(cpu.id()))
+                             vtimer_.onHostVtimerIrq(cpu, *v);
+                     });
+
+    // VGIC maintenance interrupt: no action needed beyond the world
+    // switch that already happened — the next entry refills the LRs.
+    host_.requestIrq(arm::kMaintenancePpi, [](arm::ArmCpu &cpu, IrqId) {
+        cpu.stats().counter("kvm.maintenance").inc();
+    });
+
+    // The host timer tick KVM uses to preempt a running guest when a
+    // same-CPU software injection needs delivery (hrtimer semantics).
+    host_.requestIrq(arm::kHypTimerPpi, [](arm::ArmCpu &cpu, IrqId) {
+        cpu.stats().counter("kvm.tick").inc();
+    });
+
+    // Kick SGI: its only purpose is to force the target out of guest
+    // mode so the next entry picks up new virtual interrupt state.
+    host_.requestIrq(kKickSgi, [this](arm::ArmCpu &cpu, IrqId) {
+        cpu.stats().counter("kvm.kick").inc();
+        cpu.compute(config_.kickHandlerCost);
+    });
+}
+
+bool
+Kvm::initCpu(arm::ArmCpu &cpu)
+{
+    if (!host_.bootedInHyp()) {
+        warn("kvm [cpu%u]: kernel not booted in Hyp mode; KVM/ARM "
+             "disabled (paper §4)", cpu.id());
+        return false;
+    }
+    hypMem_.build();
+    if (!host_.installHypVectors(cpu, &lowvisor_))
+        return false;
+    hypMem_.enableOnCpu(cpu);
+    registerHostIrqHandlers();
+    enabled_ = true;
+    return true;
+}
+
+std::unique_ptr<Vm>
+Kvm::createVm(Addr guest_ram_size)
+{
+    if (!enabled_)
+        fatal("Kvm::createVm before successful initCpu");
+    return std::make_unique<Vm>(*this, nextVmid_++, guest_ram_size);
+}
+
+} // namespace kvmarm::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The lowvisor (paper §3.1): the only KVM/ARM component running in Hyp
+ * mode. Three jobs: configure the execution context, perform world
+ * switches, and field every trap — doing the minimal amount of work before
+ * deferring to the highvisor in kernel mode. Split-mode virtualization's
+ * double trap is visible here: a guest trap enters Hyp, world switches to
+ * the host, and re-entering the guest requires trapping into Hyp again.
+ */
+
+#ifndef KVMARM_CORE_LOWVISOR_HH
+#define KVMARM_CORE_LOWVISOR_HH
+
+#include <vector>
+
+#include "arm/vectors.hh"
+#include "core/world_switch.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::core {
+
+class Kvm;
+class VCpu;
+
+/** Hyp-mode exception vectors of KVM/ARM. */
+class Lowvisor : public arm::HypVectors
+{
+  public:
+    explicit Lowvisor(Kvm &kvm);
+
+    /** The VCPU resident (running or handling an exit) on @p cpu. */
+    VCpu *running(CpuId cpu) { return running_.at(cpu); }
+
+    /** Arm the next kHvcRunVcpu on @p cpu to enter @p vcpu. */
+    void queueEnter(CpuId cpu, VCpu *vcpu) { pendingEnter_.at(cpu) = vcpu; }
+
+    WorldSwitch &worldSwitch() { return ws_; }
+
+    /// @name arm::HypVectors
+    /// @{
+    void hypTrap(arm::ArmCpu &cpu, const arm::Hsr &hsr) override;
+    const char *name() const override { return "kvm-lowvisor"; }
+    /// @}
+
+  private:
+    void enterVm(arm::ArmCpu &cpu, VCpu &vcpu);
+    void exitToHost(arm::ArmCpu &cpu, VCpu &vcpu);
+    void guestTrap(arm::ArmCpu &cpu, VCpu &vcpu, const arm::Hsr &hsr);
+    void hostHvc(arm::ArmCpu &cpu, const arm::Hsr &hsr);
+
+    Kvm &kvm_;
+    WorldSwitch ws_;
+    std::vector<VCpu *> running_;
+    std::vector<VCpu *> pendingEnter_;
+};
+
+} // namespace kvmarm::core
+
+#endif // KVMARM_CORE_LOWVISOR_HH

@@ -1,0 +1,104 @@
+#include "core/stage2_mmu.hh"
+
+#include "sim/logging.hh"
+
+namespace kvmarm::core {
+
+using arm::Perms;
+
+Stage2Mmu::Stage2Mmu(host::Mm &mm, std::uint16_t vmid, Addr ipa_ram_base,
+                     Addr ipa_ram_size)
+    : mm_(mm), vmid_(vmid), ipaRamBase_(ipa_ram_base),
+      ipaRamSize_(ipa_ram_size),
+      editor_(arm::PtFormat::Stage2,
+              [this](Addr pa) { return mm_.ram().read(pa, 8); },
+              [this](Addr pa, std::uint64_t v) { mm_.ram().write(pa, v, 8); },
+              [this] {
+                  Addr pa = mm_.allocPage();
+                  tablePages_.push_back(pa);
+                  return pa;
+              })
+{
+    root_ = editor_.newRoot();
+}
+
+Stage2Mmu::~Stage2Mmu()
+{
+    releaseAll();
+}
+
+std::uint64_t
+Stage2Mmu::vttbr() const
+{
+    return root_ | (std::uint64_t(vmid_ & 0xFF) << 48);
+}
+
+bool
+Stage2Mmu::isGuestRam(Addr ipa) const
+{
+    return ipa >= ipaRamBase_ && ipa < ipaRamBase_ + ipaRamSize_;
+}
+
+bool
+Stage2Mmu::handleRamFault(Addr ipa)
+{
+    if (!isGuestRam(ipa))
+        return false;
+    Addr page_ipa = pageAlignDown(ipa);
+    if (ramPages_.count(page_ipa)) {
+        // Already mapped: a racing VCPU resolved it; nothing to do.
+        return true;
+    }
+    Addr pa = mm_.getUserPages();
+    Perms p;
+    p.user = true;
+    editor_.map(root_, page_ipa, pa, p);
+    ramPages_[page_ipa] = pa;
+    return true;
+}
+
+void
+Stage2Mmu::mapDevicePage(Addr ipa, Addr pa)
+{
+    Perms p;
+    p.user = true;
+    p.exec = false;
+    p.device = true;
+    editor_.map(root_, pageAlignDown(ipa), pageAlignDown(pa), p);
+}
+
+bool
+Stage2Mmu::unmapPage(Addr ipa)
+{
+    Addr page_ipa = pageAlignDown(ipa);
+    auto it = ramPages_.find(page_ipa);
+    if (it == ramPages_.end())
+        return false;
+    editor_.unmap(root_, page_ipa);
+    mm_.putPage(it->second);
+    ramPages_.erase(it);
+    return true;
+}
+
+std::optional<Addr>
+Stage2Mmu::ipaToPa(Addr ipa) const
+{
+    auto it = ramPages_.find(pageAlignDown(ipa));
+    if (it == ramPages_.end())
+        return std::nullopt;
+    return it->second | (ipa & (kPageSize - 1));
+}
+
+void
+Stage2Mmu::releaseAll()
+{
+    for (auto &[ipa, pa] : ramPages_)
+        mm_.putPage(pa);
+    ramPages_.clear();
+    for (Addr pa : tablePages_)
+        mm_.putPage(pa);
+    tablePages_.clear();
+    root_ = 0;
+}
+
+} // namespace kvmarm::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared KVM/ARM types: configuration, hypercall numbers, and the MMIO
+ * exit structure handed to user-space device emulation.
+ */
+
+#ifndef KVMARM_CORE_TYPES_HH
+#define KVMARM_CORE_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace kvmarm::core {
+
+/** KVM/ARM build/runtime configuration. */
+struct KvmConfig
+{
+    /** Use the hardware VGIC (requires machine hwVgic). When false, all
+     *  interrupt ACK/EOI and injection is emulated via user space — the
+     *  paper's "ARM no VGIC/vtimers" configuration. */
+    bool useVgic = true;
+
+    /** Use hardware virtual timers (requires machine hwVtimers). When
+     *  false, guest counter/timer accesses trap and are emulated in user
+     *  space. */
+    bool useVtimers = true;
+
+    /** Lazily context switch VFP state via HCPTR traps (paper §3.2:
+     *  "defers switching certain register state until absolutely
+     *  necessary"). */
+    bool lazyFpu = true;
+
+    /** Ablation (paper §5.2): skip list-register save/restore when no
+     *  virtual interrupts are in flight, instead of the unoptimized
+     *  full-state context switch the merged KVM/ARM performs. */
+    bool lazyVgic = false;
+
+    /** Decode MMIO instructions in software when the syndrome is invalid
+     *  (the out-of-tree feature KVM/ARM had to drop, paper §4). When
+     *  false, such accesses are fatal to the VM. */
+    bool mmioDecodeFallback = true;
+
+    /** Cycles the in-kernel exit dispatcher costs per exit. */
+    Cycles exitDispatchCost = 240;
+
+    /** Cycles of MMIO fault processing: IPA reconstruction, kvm_io_bus
+     *  lookup, emulation dispatch. */
+    Cycles mmioFaultCost = 570;
+
+    /** Cycles of the virtual distributor's SGIR emulation beyond the
+     *  lock: routing and per-target bookkeeping (paper §6). */
+    Cycles sgirEmulationCost = 500;
+
+    /** Cycles of KVM's kick path: the host-side reschedule-IPI handler
+     *  plus run-loop bookkeeping to get the VCPU back into the guest
+     *  (kvm_vcpu_kick and friends). */
+    Cycles kickHandlerCost = 2750;
+
+    /** Cycles of QEMU's user-space GIC device model per access. */
+    Cycles qemuGicCost = 1100;
+
+    /** Cycles to software-emulate the guest's IRQ exception entry when
+     *  injecting without a VGIC (banked register writes, pending-state
+     *  bookkeeping on the entry path). */
+    Cycles viInjectCost = 700;
+
+    /** Cycles of software MMIO instruction decode (when !ISV). */
+    Cycles mmioDecodeCost = 480;
+};
+
+/** Hypercall function numbers (HVC immediates) used by the stack. */
+namespace hvc {
+inline constexpr std::uint32_t kRunVcpu = 0x4B000001;    //!< host -> enter VM
+inline constexpr std::uint32_t kStopVcpu = 0x4B000002;   //!< guest run ends
+inline constexpr std::uint32_t kTrapOnly = 0x4B000003;   //!< Table 3 "Trap"
+inline constexpr std::uint32_t kTestHypercall = 0x4B000004; //!< "Hypercall"
+inline constexpr std::uint32_t kPsciOff = 0x84000008;    //!< PSCI SYSTEM_OFF
+} // namespace hvc
+
+/** One MMIO exit delivered to user space (KVM_EXIT_MMIO-shaped). */
+struct MmioExit
+{
+    Addr ipa = 0;
+    bool isWrite = false;
+    unsigned len = 4;
+    std::uint64_t data = 0;    //!< write payload, or read result (out)
+    bool handled = false;      //!< set by the emulator
+};
+
+} // namespace kvmarm::core
+
+#endif // KVMARM_CORE_TYPES_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A virtual CPU: the complete guest-visible CPU context (Table 1's
+ * context-switched state), trap-and-emulate shadow state, run control, and
+ * the user-space register access API (GET/SET_ONE_REG) used for debugging
+ * and VM migration (paper §4).
+ */
+
+#ifndef KVMARM_CORE_VCPU_HH
+#define KVMARM_CORE_VCPU_HH
+
+#include <functional>
+
+#include "arm/modes.hh"
+#include "arm/registers.hh"
+#include "arm/timer.hh"
+#include "arm/vectors.hh"
+#include "arm/vgic.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::arm {
+class ArmCpu;
+} // namespace kvmarm::arm
+
+namespace kvmarm::core {
+
+class Vm;
+
+/** Serializable VCPU state, the unit of user-space save/restore. */
+struct VcpuState
+{
+    arm::RegisterFile regs;
+    arm::Mode mode = arm::Mode::Svc;
+    bool irqMasked = true;
+    arm::VgicBank vgic;
+    arm::TimerRegs vtimer;
+    std::uint64_t vtimerOffsetTicks = 0; //!< CNTVCT at save time
+    std::uint32_t shadowActlr = 0;
+    std::uint32_t shadowCp14 = 0;
+
+    bool operator==(const VcpuState &) const = default;
+};
+
+/** One virtual CPU, pinned 1:1 to a physical CPU. */
+class VCpu
+{
+  public:
+    VCpu(Vm &vm, unsigned index, CpuId phys_cpu);
+
+    Vm &vm() { return vm_; }
+    unsigned index() const { return index_; }
+    CpuId physCpu() const { return physCpu_; }
+
+    /// @name Guest context (world-switched)
+    /// @{
+    arm::RegisterFile regs;
+    arm::Mode guestMode = arm::Mode::Svc;
+    bool guestIrqMasked = true;
+    arm::OsVectors *guestOs = nullptr;
+    arm::VgicBank vgicShadow;
+    arm::TimerRegs vtimerShadow;
+    std::uint64_t cntvoff = 0;
+    bool fpuLoaded = false; //!< guest VFP state is on the hardware
+    /// @}
+
+    /// @name Trap-and-emulate shadow state (Table 1 bottom group)
+    /// @{
+    std::uint32_t shadowActlr = 0x00000041;
+    std::uint32_t shadowCp14 = 0;
+    /// @}
+
+    /// @name Run control
+    /// @{
+    bool blocked = false;       //!< parked in WFI emulation
+    bool kicked = false;        //!< wake request from another thread
+    bool stopRequested = false; //!< PSCI SYSTEM_OFF observed
+    /// @}
+
+    /** Hardware list registers currently hold live state (lazy-VGIC
+     *  bookkeeping). */
+    bool vgicHwLive = false;
+
+    /** Deliverable virtual interrupt exists in the software-emulated GIC
+     *  (no-VGIC configuration); mirrored into HCR.VI on VM entry. */
+    bool softVirqPending = false;
+
+    /** Set the guest kernel that receives this VCPU's PL1 exceptions. */
+    void setGuestOs(arm::OsVectors *os) { guestOs = os; }
+
+    /**
+     * KVM_RUN: world switch in, execute @p guest_main as the guest (every
+     * trap world-switches to the highvisor and back inline), world switch
+     * out when it returns. Must be called on this VCPU's physical CPU.
+     */
+    void run(arm::ArmCpu &cpu,
+             const std::function<void(arm::ArmCpu &)> &guest_main);
+
+    /// @name User-space state access (GET_ONE_REG/SET_ONE_REG-shaped)
+    /// @{
+    std::uint32_t getOneReg(arm::GpReg r) const { return regs[r]; }
+    void setOneReg(arm::GpReg r, std::uint32_t v) { regs[r] = v; }
+    std::uint32_t getOneReg(arm::CtrlReg r) const { return regs[r]; }
+    void setOneReg(arm::CtrlReg r, std::uint32_t v) { regs[r] = v; }
+
+    /** Snapshot everything user space may save (migration source side). */
+    VcpuState saveState(arm::ArmCpu &cpu) const;
+
+    /** Restore a snapshot (migration destination side). */
+    void restoreState(arm::ArmCpu &cpu, const VcpuState &state);
+    /// @}
+
+    /** Per-VCPU statistics: exit counts by reason, residency cycles. */
+    StatGroup stats;
+
+  private:
+    Vm &vm_;
+    unsigned index_;
+    CpuId physCpu_;
+};
+
+} // namespace kvmarm::core
+
+#endif // KVMARM_CORE_VCPU_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The Linux-like host kernel KVM/ARM integrates with: boot (including the
+ * boot-in-Hyp-mode protocol of paper §4), identity kernel page tables, the
+ * GIC driver and IRQ dispatch layer, page allocation (Mm), software timers
+ * (SoftTimers), thread blocking, and kernel<->user transitions for the
+ * QEMU-shaped device emulation process.
+ */
+
+#ifndef KVMARM_HOST_KERNEL_HH
+#define KVMARM_HOST_KERNEL_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "arm/machine.hh"
+#include "arm/pagetable.hh"
+#include "arm/vectors.hh"
+#include "host/mm.hh"
+#include "host/timers.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::host {
+
+/** Host-side path costs (transition latencies Linux would incur). */
+struct HostCosts
+{
+    Cycles kernelToUser = 1400; //!< ioctl return into the QEMU process
+    Cycles userToKernel = 1650; //!< ioctl entry (KVM_RUN re-entry)
+    Cycles irqDispatch = 160;   //!< irq_enter + handler lookup
+    Cycles softTimerProgram = 150;
+    Cycles wakeThread = 250;    //!< scheduler wakeup of a blocked thread
+};
+
+/**
+ * The host Linux kernel. One instance per machine; boots on every CPU and
+ * serves as the PL1 OsVectors for host execution contexts.
+ */
+class HostKernel : public arm::OsVectors
+{
+  public:
+    struct Config
+    {
+        /** Bootloader entered the kernel in Hyp mode, letting it install
+         *  the stub used to re-enter Hyp later (paper §4). When false,
+         *  KVM/ARM must detect this and stay disabled. */
+        bool bootedInHyp = true;
+        HostCosts costs;
+    };
+
+    HostKernel(arm::ArmMachine &machine, const Config &config);
+    HostKernel(arm::ArmMachine &machine) : HostKernel(machine, Config{}) {}
+
+    /**
+     * Bring up one CPU: on cpu0 also builds the kernel identity mappings
+     * and initializes the GIC; enables the MMU, unmasks IRQs, and (when
+     * booted in Hyp mode) installs the Hyp stub.
+     */
+    void boot(CpuId cpu);
+
+    arm::ArmMachine &machine() { return machine_; }
+    Mm &mm() { return mm_; }
+    SoftTimers &timers() { return timers_; }
+    const HostCosts &costs() const { return config_.costs; }
+    bool bootedInHyp() const { return config_.bootedInHyp; }
+
+    /** The kernel's Stage-1 root table (shared by all CPUs). */
+    Addr kernelPgd() const { return kernelPgd_; }
+
+    /// @name IRQ layer
+    /// @{
+    using IrqHandler = std::function<void(arm::ArmCpu &, IrqId)>;
+    void requestIrq(IrqId irq, IrqHandler handler);
+    void enableIrq(arm::ArmCpu &cpu, IrqId irq);
+    /// @}
+
+    /// @name Services used by KVM and device emulation
+    /// @{
+    /** Block the calling CPU's current thread until @p pred holds;
+     *  IRQs remain serviceable while blocked. */
+    void blockUntil(arm::ArmCpu &cpu, const std::function<bool()> &pred);
+
+    /** Charge a kernel -> user -> kernel round trip around @p user_work,
+     *  run with the CPU in user mode (the QEMU process). */
+    void runInUserspace(arm::ArmCpu &cpu,
+                        const std::function<void()> &user_work);
+
+    /**
+     * The paper-§4 protocol for getting code into Hyp mode: the stub
+     * installed at boot handles an HVC that swaps in new vectors. Fails
+     * (returns false) if the kernel was not booted in Hyp mode.
+     */
+    bool installHypVectors(arm::ArmCpu &cpu, arm::HypVectors *vectors);
+    /// @}
+
+    /// @name arm::OsVectors
+    /// @{
+    void irq(arm::ArmCpu &cpu) override;
+    void svc(arm::ArmCpu &cpu, std::uint32_t num) override;
+    bool pageFault(arm::ArmCpu &cpu, Addr va, bool write, bool user) override;
+    const char *name() const override { return "host-linux"; }
+    /// @}
+
+  private:
+    /** Boot-time stub occupying the Hyp vector slot (paper §4): its only
+     *  job is to let the kernel re-enter Hyp mode later. */
+    class HypStub : public arm::HypVectors
+    {
+      public:
+        explicit HypStub(HostKernel &kernel) : kernel_(kernel) {}
+        void hypTrap(arm::ArmCpu &cpu, const arm::Hsr &hsr) override;
+        const char *name() const override { return "hyp-stub"; }
+
+        arm::HypVectors *pendingVectors = nullptr;
+
+      private:
+        HostKernel &kernel_;
+    };
+
+    static constexpr std::uint32_t kHvcSetVectors = 0xDEAD0001;
+
+    void buildKernelTables();
+    void initGicOnCpu(arm::ArmCpu &cpu);
+
+    arm::ArmMachine &machine_;
+    Config config_;
+    Mm mm_;
+    SoftTimers timers_;
+    HypStub stub_;
+    Addr kernelPgd_ = 0;
+    std::array<IrqHandler, arm::kMaxIrqs> handlers_{};
+};
+
+} // namespace kvmarm::host
+
+#endif // KVMARM_HOST_KERNEL_HH

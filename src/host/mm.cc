@@ -1,0 +1,65 @@
+#include "host/mm.hh"
+
+#include "sim/logging.hh"
+
+namespace kvmarm::host {
+
+Mm::Mm(PhysMem &ram) : ram_(ram)
+{
+    // Build the free list high-to-low so early allocations (kernel page
+    // tables) come from the top of RAM, away from guest RAM bases.
+    Addr base = ram.base();
+    Addr npages = ram.size() / kPageSize;
+    freeList_.reserve(npages);
+    for (Addr i = 0; i < npages; ++i)
+        freeList_.push_back(base + i * kPageSize);
+}
+
+Addr
+Mm::allocPage()
+{
+    if (freeList_.empty())
+        fatal("host::Mm: out of memory (%zu pages in use)", usedPages());
+    Addr pa = freeList_.back();
+    freeList_.pop_back();
+    ram_.zeroPage(pa);
+    refcounts_[pa] = 1;
+    return pa;
+}
+
+void
+Mm::getPage(Addr pa)
+{
+    auto it = refcounts_.find(pageAlignDown(pa));
+    if (it == refcounts_.end())
+        panic("host::Mm::getPage on free page %#llx", (unsigned long long)pa);
+    ++it->second;
+}
+
+void
+Mm::putPage(Addr pa)
+{
+    pa = pageAlignDown(pa);
+    auto it = refcounts_.find(pa);
+    if (it == refcounts_.end())
+        panic("host::Mm::putPage on free page %#llx", (unsigned long long)pa);
+    if (--it->second == 0) {
+        refcounts_.erase(it);
+        freeList_.push_back(pa);
+    }
+}
+
+unsigned
+Mm::refcount(Addr pa) const
+{
+    auto it = refcounts_.find(pageAlignDown(pa));
+    return it == refcounts_.end() ? 0 : it->second;
+}
+
+Addr
+Mm::getUserPages()
+{
+    return allocPage();
+}
+
+} // namespace kvmarm::host

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Host kernel memory management: a page allocator with reference counting
+ * over machine RAM. This is the "existing kernel memory allocation, page
+ * reference counting and page table manipulation code" the highvisor
+ * leverages instead of writing its own allocator (paper §3.3) — a
+ * bare-metal hypervisor has to bring its own (src/baremetal does).
+ */
+
+#ifndef KVMARM_HOST_MM_HH
+#define KVMARM_HOST_MM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::host {
+
+/** Page-frame allocator with per-page refcounts. */
+class Mm
+{
+  public:
+    explicit Mm(PhysMem &ram);
+
+    /** Allocate one zeroed page (refcount 1). Fatal when out of memory. */
+    Addr allocPage();
+
+    /** Increment a page's refcount (get_page). */
+    void getPage(Addr pa);
+
+    /** Decrement a page's refcount; frees the frame at zero (put_page). */
+    void putPage(Addr pa);
+
+    /** Refcount of @p pa, 0 if free. */
+    unsigned refcount(Addr pa) const;
+
+    std::size_t freePages() const { return freeList_.size(); }
+    std::size_t usedPages() const { return refcounts_.size(); }
+
+    /**
+     * The get_user_pages-shaped service KVM/ARM calls from its Stage-2
+     * fault handler: pin and return a fresh page backing one page of a
+     * user (VM) address space. In this model user mappings are always
+     * populated on demand, so this allocates.
+     */
+    Addr getUserPages();
+
+    /** Approximate cycle cost of the get_user_pages path. */
+    static constexpr Cycles kGetUserPagesCost = 600;
+
+    /** The RAM this allocator manages. */
+    PhysMem &ram() { return ram_; }
+
+  private:
+    PhysMem &ram_;
+    std::vector<Addr> freeList_;
+    std::unordered_map<Addr, unsigned> refcounts_;
+};
+
+} // namespace kvmarm::host
+
+#endif // KVMARM_HOST_MM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host software timers (hrtimer-shaped): the "existing OS functionality to
+ * program a software timer" that KVM/ARM leverages to emulate unexpired
+ * virtual timers while a VM is descheduled (paper §3.6).
+ */
+
+#ifndef KVMARM_HOST_TIMERS_HH
+#define KVMARM_HOST_TIMERS_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace kvmarm {
+class MachineBase;
+} // namespace kvmarm
+
+namespace kvmarm::host {
+
+/** hrtimer-like facade over the per-CPU event queues. */
+class SoftTimers
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit SoftTimers(MachineBase &machine) : machine_(machine) {}
+
+    /** Arm a one-shot timer on @p cpu at absolute cycle @p when. */
+    std::uint64_t start(CpuId cpu, Cycles when, Callback cb);
+
+    /** Cancel; returns false if already fired. */
+    bool cancel(std::uint64_t id);
+
+    std::size_t active() const { return live_.size(); }
+
+  private:
+    MachineBase &machine_;
+    std::uint64_t nextId_ = 1;
+    struct Rec
+    {
+        CpuId cpu;
+        std::uint64_t eventId;
+    };
+    std::unordered_map<std::uint64_t, Rec> live_;
+};
+
+} // namespace kvmarm::host
+
+#endif // KVMARM_HOST_TIMERS_HH

@@ -1,0 +1,82 @@
+#include "mem/bus.hh"
+
+#include "sim/logging.hh"
+
+namespace kvmarm {
+
+void
+Bus::addDevice(Addr base, Addr size, MmioDevice *dev)
+{
+    if (size == 0 || base + size < base)
+        fatal("Bus: bad region for %s", dev->name().c_str());
+    if (base < ram_.base() + ram_.size() && base + size > ram_.base())
+        fatal("Bus: region for %s overlaps RAM", dev->name().c_str());
+    for (const Region &r : regions_) {
+        if (base < r.base + r.size && base + size > r.base) {
+            fatal("Bus: region for %s overlaps %s", dev->name().c_str(),
+                  r.dev->name().c_str());
+        }
+    }
+    regions_.push_back({base, size, dev});
+}
+
+bool
+Bus::isRam(Addr pa, unsigned len) const
+{
+    return ram_.contains(pa, len);
+}
+
+const Bus::Region *
+Bus::regionAt(Addr pa) const
+{
+    for (const Region &r : regions_) {
+        if (pa >= r.base && pa < r.base + r.size)
+            return &r;
+    }
+    return nullptr;
+}
+
+MmioDevice *
+Bus::deviceAt(Addr pa) const
+{
+    const Region *r = regionAt(pa);
+    return r ? r->dev : nullptr;
+}
+
+Addr
+Bus::regionBase(const MmioDevice *dev) const
+{
+    for (const Region &r : regions_) {
+        if (r.dev == dev)
+            return r.base;
+    }
+    return 0;
+}
+
+BusAccess
+Bus::read(CpuId cpu, Addr pa, unsigned len)
+{
+    if (isRam(pa, len))
+        return {ram_.read(pa, len), kRamLatency, true};
+    if (const Region *r = regionAt(pa)) {
+        std::uint64_t v = r->dev->read(cpu, pa - r->base, len);
+        return {v, r->dev->accessLatency(), true};
+    }
+    return {0, 0, false};
+}
+
+BusAccess
+Bus::write(CpuId cpu, Addr pa, std::uint64_t value, unsigned len)
+{
+    if (isRam(pa, len)) {
+        ram_.write(pa, value, len);
+        return {0, kRamLatency, true};
+    }
+    if (const Region *r = regionAt(pa)) {
+        r->dev->write(cpu, pa - r->base, value, len);
+        return {0, r->dev->accessLatency(), true};
+    }
+    return {0, 0, false};
+}
+
+} // namespace kvmarm

@@ -1,0 +1,108 @@
+#include "mem/phys_mem.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace kvmarm {
+
+PhysMem::PhysMem(Addr base, Addr size) : base_(base), size_(size)
+{
+    if (!isPageAligned(base) || !isPageAligned(size) || size == 0)
+        fatal("PhysMem: base/size must be nonzero and page aligned");
+}
+
+bool
+PhysMem::contains(Addr pa, unsigned len) const
+{
+    return pa >= base_ && pa + len <= base_ + size_ && pa + len > pa;
+}
+
+void
+PhysMem::checkRange(Addr pa, Addr len) const
+{
+    if (!contains(pa, static_cast<unsigned>(len)))
+        panic("PhysMem: access [%#llx,+%llu) outside RAM [%#llx,+%llu)",
+              (unsigned long long)pa, (unsigned long long)len,
+              (unsigned long long)base_, (unsigned long long)size_);
+}
+
+PhysMem::Page &
+PhysMem::pageFor(Addr pa)
+{
+    Addr frame = pageAlignDown(pa);
+    auto &slot = pages_[frame];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const PhysMem::Page *
+PhysMem::pageForRead(Addr pa) const
+{
+    auto it = pages_.find(pageAlignDown(pa));
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+PhysMem::read(Addr pa, unsigned len) const
+{
+    checkRange(pa, len);
+    std::uint64_t v = 0;
+    readBlock(pa, &v, len);
+    return v;
+}
+
+void
+PhysMem::write(Addr pa, std::uint64_t value, unsigned len)
+{
+    checkRange(pa, len);
+    writeBlock(pa, &value, len);
+}
+
+void
+PhysMem::readBlock(Addr pa, void *dst, Addr len) const
+{
+    checkRange(pa, len);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        Addr off = pa & (kPageSize - 1);
+        Addr chunk = std::min<Addr>(len, kPageSize - off);
+        const Page *pg = pageForRead(pa);
+        if (pg)
+            std::memcpy(out, pg->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        pa += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::writeBlock(Addr pa, const void *src, Addr len)
+{
+    checkRange(pa, len);
+    auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        Addr off = pa & (kPageSize - 1);
+        Addr chunk = std::min<Addr>(len, kPageSize - off);
+        std::memcpy(pageFor(pa).data() + off, in, chunk);
+        pa += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::zeroPage(Addr pa)
+{
+    checkRange(pa, kPageSize);
+    if (!isPageAligned(pa))
+        panic("PhysMem::zeroPage: unaligned %#llx", (unsigned long long)pa);
+    pageFor(pa).fill(0);
+}
+
+} // namespace kvmarm

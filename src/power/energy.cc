@@ -1,0 +1,35 @@
+#include "power/energy.hh"
+
+namespace kvmarm::power {
+
+PowerProfile
+arndaleProfile()
+{
+    return {"arndale", 1.4, 4.4};
+}
+
+PowerProfile
+x86LaptopProfile()
+{
+    return {"x86-laptop", 7.5, 21.0};
+}
+
+double
+watts(const PowerProfile &profile, double utilization)
+{
+    if (utilization < 0)
+        utilization = 0;
+    if (utilization > 1)
+        utilization = 1;
+    return profile.idleWatts +
+           (profile.busyWatts - profile.idleWatts) * utilization;
+}
+
+double
+energyJoules(const PowerProfile &profile, double seconds,
+             double utilization)
+{
+    return watts(profile, utilization) * seconds;
+}
+
+} // namespace kvmarm::power

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Utilization-based platform energy model (paper §5.1-5.2, Figure 7).
+ * The paper measured instantaneous power (ARM Energy Probe over a supply
+ * shunt; powerstat/ACPI on the x86 laptop) and integrated over the run;
+ * this model does the same with a linear idle/busy power curve, which
+ * preserves exactly the distinction the paper draws: CPU-bound workloads'
+ * energy overhead tracks their performance overhead, while I/O-bound ones
+ * (memcached, untar) burn near-idle power either way.
+ */
+
+#ifndef KVMARM_POWER_ENERGY_HH
+#define KVMARM_POWER_ENERGY_HH
+
+namespace kvmarm::power {
+
+/** Linear power curve of one platform. */
+struct PowerProfile
+{
+    const char *name;
+    double idleWatts;
+    double busyWatts;
+};
+
+/** Arndale board: total SoC + SSD power at the supply (paper §5.1). */
+PowerProfile arndaleProfile();
+
+/** 2011 MacBook Air from battery, display/wireless off (paper §5.1). */
+PowerProfile x86LaptopProfile();
+
+/** Average power at @p utilization (0..1). */
+double watts(const PowerProfile &profile, double utilization);
+
+/** Energy in Joules of a run of @p seconds at @p utilization. */
+double energyJoules(const PowerProfile &profile, double seconds,
+                    double utilization);
+
+} // namespace kvmarm::power
+
+#endif // KVMARM_POWER_ENERGY_HH

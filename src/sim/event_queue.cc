@@ -1,0 +1,74 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace kvmarm {
+
+EventQueue::~EventQueue()
+{
+    for (Event *ev : heap_)
+        delete ev;
+}
+
+std::uint64_t
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    auto *ev = new Event{when, nextSeq_++, nextId_++, std::move(cb), false};
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    if (onSchedule)
+        onSchedule(when);
+    return ev->id;
+}
+
+bool
+EventQueue::cancel(std::uint64_t id)
+{
+    for (Event *ev : heap_) {
+        if (ev->id == id && !ev->cancelled) {
+            ev->cancelled = true;
+            --live_;
+            return true;
+        }
+    }
+    return false;
+}
+
+Cycles
+EventQueue::nextEventTime() const
+{
+    // Skip over cancelled tombstones at the head without popping; scan is
+    // cheap because queues stay small (a handful of timers per CPU).
+    Cycles best = kNoDeadline;
+    for (const Event *ev : heap_) {
+        if (!ev->cancelled)
+            best = std::min(best, ev->when);
+    }
+    return best;
+}
+
+unsigned
+EventQueue::runDue(Cycles now)
+{
+    unsigned ran = 0;
+    while (!heap_.empty()) {
+        Event *head = heap_.front();
+        if (!head->cancelled && head->when > now)
+            break;
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+        std::unique_ptr<Event> ev(head);
+        if (!ev->cancelled) {
+            --live_;
+            ++ran;
+            ev->cb();
+        }
+    }
+    return ran;
+}
+
+} // namespace kvmarm

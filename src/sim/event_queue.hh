@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A per-CPU discrete event queue keyed by cycle time.
+ *
+ * Each simulated CPU owns one queue; events scheduled by other CPUs (IPI
+ * deliveries, device completions) land here and are serviced when the owning
+ * CPU's clock passes the event time, or immediately when the CPU idles and
+ * fast-forwards its clock.
+ */
+
+#ifndef KVMARM_SIM_EVENT_QUEUE_HH
+#define KVMARM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kvmarm {
+
+/** FIFO-stable priority queue of cycle-stamped callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /** Schedule @p cb to run at absolute cycle @p when. Returns an id. */
+    std::uint64_t schedule(Cycles when, Callback cb);
+
+    /** Invoked on every schedule(); the owning CPU uses this to tell the
+     *  machine scheduler about cross-CPU wake events. */
+    std::function<void(Cycles)> onSchedule;
+
+    /** Cancel a previously scheduled event. Returns false if already run. */
+    bool cancel(std::uint64_t id);
+
+    /** Cycle of the earliest pending event, or kNoDeadline if empty. */
+    Cycles nextEventTime() const;
+
+    /** Run every event with time <= @p now. Returns number run. */
+    unsigned runDue(Cycles now);
+
+    /** True if no events are pending. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return live_; }
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        std::uint64_t seq; //!< schedule order, for FIFO stability
+        std::uint64_t id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    std::vector<Event *> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::size_t live_ = 0;
+};
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_EVENT_QUEUE_HH

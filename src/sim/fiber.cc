@@ -1,0 +1,70 @@
+#include "sim/fiber.hh"
+
+#include "sim/logging.hh"
+
+namespace kvmarm {
+
+namespace {
+thread_local Fiber *currentFiber = nullptr;
+} // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
+    : fn_(std::move(fn)), stack_(stack_size)
+{
+}
+
+Fiber::~Fiber() = default;
+
+Fiber *
+Fiber::current()
+{
+    return currentFiber;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = currentFiber;
+    self->fn_();
+    self->finished_ = true;
+    // Return to the last resumer; the context set up by swapcontext in
+    // resume() is restored via uc_link being unavailable with this pattern,
+    // so swap back explicitly.
+    swapcontext(&self->ctx_, &self->returnCtx_);
+    panic("Fiber: resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    if (finished_)
+        panic("Fiber::resume on finished fiber");
+    if (currentFiber)
+        panic("Fiber::resume from inside a fiber (no nesting)");
+
+    Fiber *prev = currentFiber;
+    currentFiber = this;
+
+    if (!started_) {
+        started_ = true;
+        getcontext(&ctx_);
+        ctx_.uc_stack.ss_sp = stack_.data();
+        ctx_.uc_stack.ss_size = stack_.size();
+        ctx_.uc_link = nullptr;
+        makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                    0);
+    }
+    swapcontext(&returnCtx_, &ctx_);
+    currentFiber = prev;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = currentFiber;
+    if (!self)
+        panic("Fiber::yield outside any fiber");
+    swapcontext(&self->ctx_, &self->returnCtx_);
+}
+
+} // namespace kvmarm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cooperative fibers (ucontext-based), one per simulated CPU.
+ *
+ * Simulated software — guest kernels, the hypervisor, the host kernel — runs
+ * as ordinary synchronous C++ on a fiber. The machine scheduler resumes the
+ * runnable CPU with the smallest cycle clock, so multicore interactions
+ * (IPIs, spinning on shared memory, WFI wakeups) interleave deterministically
+ * without threads.
+ */
+
+#ifndef KVMARM_SIM_FIBER_HH
+#define KVMARM_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace kvmarm {
+
+/** A single cooperative fiber with its own stack. */
+class Fiber
+{
+  public:
+    /**
+     * @param fn Entry function; the fiber is finished when it returns.
+     * @param stack_size Stack bytes; simulated software nests deeply
+     *        (guest op -> trap -> world switch -> host -> QEMU), so the
+     *        default is generous.
+     */
+    explicit Fiber(std::function<void()> fn,
+                   std::size_t stack_size = 1024 * 1024);
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+    ~Fiber();
+
+    /** Switch from the caller into the fiber. Must not be called from a
+     *  fiber (no nesting of resumes). */
+    void resume();
+
+    /** Yield from inside the currently running fiber back to its resumer. */
+    static void yield();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+    /** The fiber currently executing, or nullptr if in the scheduler. */
+    static Fiber *current();
+
+  private:
+    static void trampoline();
+
+    std::function<void()> fn_;
+    std::vector<unsigned char> stack_;
+    ucontext_t ctx_;
+    ucontext_t returnCtx_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_FIBER_HH

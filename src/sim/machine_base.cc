@@ -1,0 +1,64 @@
+#include "sim/machine_base.hh"
+#include <cstdio>
+
+#include "sim/cpu_base.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm {
+
+void
+MachineBase::run()
+{
+    stopRequested_ = false;
+    while (!stopRequested_) {
+        CpuBase *best = nullptr;
+        Cycles best_clock = kNoDeadline;
+        Cycles second_clock = kNoDeadline;
+        bool any_unfinished = false;
+
+        for (CpuBase *c : cpusBase_) {
+            if (!c->hasEntry() || c->fiberFinished())
+                continue;
+            any_unfinished = true;
+            Cycles eff = c->effectiveClock();
+            if (eff < best_clock) {
+                second_clock = best_clock;
+                best_clock = eff;
+                best = c;
+            } else if (eff < second_clock) {
+                second_clock = eff;
+            }
+        }
+
+        if (!any_unfinished)
+            break;
+        if (!best || best_clock == kNoDeadline) {
+            for (CpuBase *c : cpusBase_) {
+                std::fprintf(stderr,
+                             "  cpu%u: now=%llu waiting=%d finished=%d "
+                             "events=%zu\n",
+                             c->id(), (unsigned long long)c->now(),
+                             c->waiting(), c->fiberFinished(),
+                             c->events().size());
+            }
+            panic("MachineBase::run: deadlock — every CPU is blocked with "
+                  "no pending events");
+        }
+
+        best->setYieldThreshold(second_clock == kNoDeadline
+                                    ? kNoDeadline
+                                    : second_clock + quantum_);
+        running_ = best;
+        best->resumeFiber();
+        running_ = nullptr;
+    }
+}
+
+void
+MachineBase::noteEventScheduled(CpuBase &target, Cycles when)
+{
+    if (running_ && running_ != &target)
+        running_->lowerYieldThreshold(when + quantum_);
+}
+
+} // namespace kvmarm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Machine-level deterministic fiber scheduler.
+ *
+ * Runs the unfinished CPU with the smallest effective clock; a blocked CPU's
+ * effective clock is its next event time, so idle CPUs fast-forward. The
+ * interleaving quantum bounds how far one CPU may run ahead of another,
+ * giving deterministic, approximately lock-step SMP execution.
+ */
+
+#ifndef KVMARM_SIM_MACHINE_BASE_HH
+#define KVMARM_SIM_MACHINE_BASE_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kvmarm {
+
+class CpuBase;
+
+/** Base class for ArmMachine and X86Machine. */
+class MachineBase
+{
+  public:
+    virtual ~MachineBase() = default;
+
+    /**
+     * Run every CPU that has an entry function until all of them finish or
+     * stop is requested. Throws via panic() on cross-CPU deadlock (all
+     * blocked with no pending events).
+     */
+    void run();
+
+    /** Ask run() to return at the next scheduling point. Suspended fibers
+     *  are abandoned (their stacks are reclaimed with the machine). */
+    void requestStop() { stopRequested_ = true; }
+
+    bool stopRequested() const { return stopRequested_; }
+
+    /** How far (cycles) one CPU may run ahead of the laggard before
+     *  yielding. */
+    Cycles quantum() const { return quantum_; }
+    void setQuantum(Cycles q) { quantum_ = q; }
+
+    std::size_t numCpus() const { return cpusBase_.size(); }
+    CpuBase &cpuBase(CpuId id) { return *cpusBase_.at(id); }
+
+    /**
+     * A new event landed on @p target's queue. If another CPU is
+     * currently executing with a stale yield threshold beyond @p when,
+     * pull it in so the wake is serviced promptly (otherwise a CPU
+     * spin-waiting on the target could run far past the wake time).
+     */
+    void noteEventScheduled(CpuBase &target, Cycles when);
+
+  protected:
+    /** Derived machines register their CPUs in id order. */
+    void registerCpu(CpuBase *cpu) { cpusBase_.push_back(cpu); }
+
+    std::vector<CpuBase *> cpusBase_;
+    Cycles quantum_ = 500;
+    bool stopRequested_ = false;
+    CpuBase *running_ = nullptr;
+};
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_MACHINE_BASE_HH

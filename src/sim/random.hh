@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*). Workload
+ * models draw from this so that a given seed always produces the same
+ * simulated cycle counts — required for reproducible benches and for the
+ * determinism property tests.
+ */
+
+#ifndef KVMARM_SIM_RANDOM_HH
+#define KVMARM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace kvmarm {
+
+/** xorshift64* generator; small, fast, and seed-stable across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t range(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) / 9007199254740992.0;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_RANDOM_HH

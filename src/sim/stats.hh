@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight named statistics: counters and scalar samples with a
+ * table-style dump, in the spirit of gem5's stats package.
+ */
+
+#ifndef KVMARM_SIM_STATS_HH
+#define KVMARM_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace kvmarm {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running scalar statistic: count, sum, min, max, mean. */
+class Scalar
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A registry of named counters and scalars. Subsystems hold a StatGroup and
+ * name their stats hierarchically ("cpu0.traps.wfi").
+ */
+class StatGroup
+{
+  public:
+    /** Find or create a counter by name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Find or create a scalar by name. */
+    Scalar &scalar(const std::string &name) { return scalars_[name]; }
+
+    /** Read a counter's value, 0 if it does not exist. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+    /** Dump all stats, sorted by name, one per line. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::map<std::string, Counter> &counters() const { return counters_; }
+    const std::map<std::string, Scalar> &scalars() const { return scalars_; }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Scalar> scalars_;
+};
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_STATS_HH

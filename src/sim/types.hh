@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every subsystem.
+ */
+
+#ifndef KVMARM_SIM_TYPES_HH
+#define KVMARM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace kvmarm {
+
+/** Simulated CPU cycles. All costs and clocks are expressed in cycles. */
+using Cycles = std::uint64_t;
+
+/** A physical, intermediate-physical, or virtual address. */
+using Addr = std::uint64_t;
+
+/** Interrupt identifier (GIC INTID or x86 vector). */
+using IrqId = std::uint32_t;
+
+/** Identifier of a physical CPU within a machine. */
+using CpuId = std::uint32_t;
+
+/** Sentinel for "no cycle deadline armed". */
+inline constexpr Cycles kNoDeadline = std::numeric_limits<Cycles>::max();
+
+inline constexpr Addr kKiB = 1024;
+inline constexpr Addr kMiB = 1024 * kKiB;
+inline constexpr Addr kGiB = 1024 * kMiB;
+
+/** Simulated page size used by every translation regime. */
+inline constexpr Addr kPageSize = 4 * kKiB;
+inline constexpr Addr kPageShift = 12;
+
+/** Round an address down to its containing page boundary. */
+constexpr Addr pageAlignDown(Addr a) { return a & ~(kPageSize - 1); }
+
+/** Round an address up to the next page boundary. */
+constexpr Addr pageAlignUp(Addr a) { return (a + kPageSize - 1) & ~(kPageSize - 1); }
+
+/** True if the address is page aligned. */
+constexpr bool isPageAligned(Addr a) { return (a & (kPageSize - 1)) == 0; }
+
+/** Extract bit @p n of @p v. */
+constexpr bool bit(std::uint64_t v, unsigned n) { return (v >> n) & 1; }
+
+/** Extract bits [hi:lo] of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((std::uint64_t{1} << (hi - lo + 1)) - 1);
+}
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_TYPES_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * QEMU-shaped user-space device emulation (paper §3.4): MMIO exits from
+ * the VM are routed here; device completions are queued and delivered
+ * through a host "iothread" interrupt, whose handler injects the guest's
+ * virtual interrupt via the KVM_IRQ_LINE path — exactly the
+ * QEMU-eventfd-KVM plumbing of the real stack.
+ */
+
+#ifndef KVMARM_VDEV_QEMU_HH
+#define KVMARM_VDEV_QEMU_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/kvm.hh"
+#include "kvmx86/kvm_x86.hh"
+#include "vdev/model_dev.hh"
+#include "vdev/uart.hh"
+
+namespace kvmarm::vdev {
+
+/** Physical SPI used to signal "QEMU iothread has work" to the host. */
+inline constexpr IrqId kIothreadSpi = 40;
+/** x86 host vector for the same purpose. */
+inline constexpr std::uint8_t kIothreadVector = 0xE2;
+
+/** First guest SPI used for emulated devices (slot i -> kDevSpiBase+i). */
+inline constexpr IrqId kDevSpiBase = 48;
+/** First guest vector for emulated devices on x86. */
+inline constexpr std::uint8_t kDevVectorBase = 0xA0;
+
+/** Cycles QEMU spends in its device model per MMIO access. */
+inline constexpr Cycles kQemuDeviceWork = 650;
+/** Host-side eventfd/irqfd processing per completion. */
+inline constexpr Cycles kIothreadWork = 420;
+
+/** User-space device emulation for one ARM VM. */
+class QemuArm
+{
+  public:
+    /** Installs itself as @p vm's user-space MMIO handler and registers
+     *  the iothread interrupt with the host kernel. */
+    QemuArm(core::Kvm &kvm, core::Vm &vm);
+
+    /** Emulate a kick/complete device in MMIO slot @p slot; completions
+     *  raise guest SPI kDevSpiBase + slot. */
+    void addDevice(unsigned slot, const DevProfile &profile);
+
+    Uart &uart() { return uart_; }
+    std::uint64_t completed(unsigned slot) const;
+
+  private:
+    struct EmuDev
+    {
+        bool present = false;
+        DevProfile profile;
+        std::uint64_t completed = 0;
+    };
+
+    void handleMmio(arm::ArmCpu &cpu, core::VCpu &vcpu,
+                    core::MmioExit &exit);
+    void iothreadIrq(arm::ArmCpu &cpu);
+
+    core::Kvm &kvm_;
+    core::Vm &vm_;
+    Uart uart_;
+    std::vector<EmuDev> devs_;
+    std::deque<unsigned> completions_; //!< slots with a pending irq
+};
+
+/** User-space device emulation for one x86 VM. */
+class QemuX86
+{
+  public:
+    QemuX86(kvmx86::KvmX86 &kvm, kvmx86::VmX86 &vm);
+
+    void addDevice(unsigned slot, const DevProfile &profile);
+
+    Uart &uart() { return uart_; }
+    std::uint64_t completed(unsigned slot) const;
+
+  private:
+    struct EmuDev
+    {
+        bool present = false;
+        DevProfile profile;
+        std::uint64_t completed = 0;
+    };
+
+    void handleMmio(x86::X86Cpu &cpu, kvmx86::VCpuX86 &vcpu,
+                    kvmx86::X86MmioExit &exit);
+    void iothreadIrq(x86::X86Cpu &cpu);
+
+    kvmx86::KvmX86 &kvm_;
+    kvmx86::VmX86 &vm_;
+    Uart uart_;
+    std::vector<EmuDev> devs_;
+    std::deque<unsigned> completions_;
+};
+
+} // namespace kvmarm::vdev
+
+#endif // KVMARM_VDEV_QEMU_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A PL011-flavoured UART: the canonical "device emulated in user space"
+ * for VMs, and a real bus device natively.
+ */
+
+#ifndef KVMARM_VDEV_UART_HH
+#define KVMARM_VDEV_UART_HH
+
+#include <string>
+
+#include "mem/bus.hh"
+#include "sim/types.hh"
+
+namespace kvmarm::vdev {
+
+/// UART register offsets.
+namespace uart {
+inline constexpr Addr DR = 0x00; //!< data register
+inline constexpr Addr FR = 0x18; //!< flag register (always ready here)
+} // namespace uart
+
+/** Console UART; collects output for tests and examples. */
+class Uart : public MmioDevice
+{
+  public:
+    explicit Uart(Cycles latency, bool echo_to_stdout = false)
+        : latency_(latency), echo_(echo_to_stdout)
+    {
+    }
+
+    std::string name() const override { return "uart"; }
+
+    std::uint64_t
+    read(CpuId, Addr offset, unsigned) override
+    {
+        return offset == uart::FR ? 0 : 0; // TX always ready
+    }
+
+    void
+    write(CpuId, Addr offset, std::uint64_t value, unsigned) override
+    {
+        if (offset == uart::DR) {
+            output_ += static_cast<char>(value);
+            if (echo_)
+                std::fputc(static_cast<int>(value), stdout);
+        }
+    }
+
+    Cycles accessLatency() const override { return latency_; }
+
+    const std::string &output() const { return output_; }
+    void clear() { output_.clear(); }
+
+  private:
+    Cycles latency_;
+    bool echo_;
+    std::string output_;
+};
+
+} // namespace kvmarm::vdev
+
+#endif // KVMARM_VDEV_UART_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The eight application workloads of Table 2, modelled as transaction
+ * loops over SysPort + the kick/complete devices: apache (ApacheBench),
+ * mysql (SysBench OLTP), memcached (memslap), kernel compile, untar,
+ * curl 1K / curl 1G against a LAN server, and hackbench. SMP runs split
+ * each workload's natural pipeline across the two CPUs with real
+ * reschedule IPIs and idling, the structure behind Figure 6's divergence
+ * between KVM/ARM and KVM x86.
+ */
+
+#ifndef KVMARM_WORKLOAD_APPS_HH
+#define KVMARM_WORKLOAD_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/harness.hh"
+
+namespace kvmarm::wl {
+
+/** The Table 2 applications. */
+enum class App
+{
+    Apache,
+    Mysql,
+    Memcached,
+    KernelCompile,
+    Untar,
+    Curl1K,
+    Curl1G,
+    Hackbench,
+};
+
+const char *appName(App app);
+std::vector<App> allApps();
+
+/** Fraction of CPU time the workload keeps a core busy natively; the
+ *  paper's energy discussion hinges on memcached and untar not being CPU
+ *  bound (§5.2). */
+bool isCpuBound(App app);
+
+/** Build the harness experiment for @p app (work/side/devices/prepare). */
+Experiment makeAppExperiment(App app, Platform platform, bool smp);
+
+/** Performance and energy outcome of one app on one platform. */
+struct AppOutcome
+{
+    double overhead = 0;       //!< virt elapsed / native elapsed
+    double energyOverhead = 0; //!< virt Joules / native Joules
+    RunMetrics native;
+    RunMetrics virt;
+};
+
+AppOutcome runApp(App app, Platform platform, bool smp);
+
+} // namespace kvmarm::wl
+
+#endif // KVMARM_WORKLOAD_APPS_HH

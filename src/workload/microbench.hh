@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Table 3 micro-benchmarks (paper §5.1: "custom small guest OSes"):
+ * Hypercall, Trap, I/O Kernel, I/O User, IPI, and EOI+ACK, measured in
+ * cycles on the modelled ARM machine under KVM/ARM, with and without
+ * VGIC/vtimers support.
+ */
+
+#ifndef KVMARM_WORKLOAD_MICROBENCH_HH
+#define KVMARM_WORKLOAD_MICROBENCH_HH
+
+#include "sim/types.hh"
+
+namespace kvmarm::wl {
+
+/** One column of Table 3. */
+struct MicroResults
+{
+    Cycles hypercall = 0; //!< two world switches, no work in the host
+    Cycles trap = 0;      //!< hardware mode switch VM->Hyp->VM only
+    Cycles ioKernel = 0;  //!< MMIO to a device emulated in the kernel
+    Cycles ioUser = 0;    //!< MMIO to a device emulated in user space
+    Cycles ipi = 0;       //!< VCPU0 SGI -> VCPU1 responds, round trip
+    Cycles eoiAck = 0;    //!< guest interrupt acknowledge + completion
+};
+
+/** Configuration of one measured column. */
+struct ArmMicroSetup
+{
+    bool useVgic = true;
+    bool useVtimers = true;
+    unsigned iterations = 64;
+};
+
+/** Run the ARM micro-benchmarks; builds a fresh 2-CPU machine + host +
+ *  KVM/ARM stack and a 2-VCPU guest. */
+MicroResults runArmMicrobench(const ArmMicroSetup &setup);
+
+} // namespace kvmarm::wl
+
+#endif // KVMARM_WORKLOAD_MICROBENCH_HH

@@ -1,0 +1,170 @@
+#include "workload/microbench_x86.hh"
+
+#include <memory>
+
+#include "kvmx86/kvm_x86.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm::wl {
+
+using kvmx86::KvmX86;
+using kvmx86::VCpuX86;
+using kvmx86::VmX86;
+using kvmx86::X86Host;
+using x86::X86Cpu;
+using x86::X86Machine;
+
+namespace {
+
+constexpr Addr kFlagResponse = 0x1000;
+constexpr std::uint8_t kIpiVector = 0xD1;
+
+/** Minimal guest kernel: respond to IPIs and EOI (x86 has no explicit
+ *  ACK — the paper's EOI+ACK row measures only EOI here). */
+class MicroGuestX86 : public x86::X86OsVectors
+{
+  public:
+    void
+    interrupt(X86Cpu &cpu, std::uint8_t vector) override
+    {
+        Cycles t0 = cpu.now();
+        cpu.memWrite(x86::kApicBase + x86::apic::EOI, 0, 4);
+        lastEoiCycles = cpu.now() - t0;
+        totalEoiCycles += lastEoiCycles;
+        ++irqCount;
+        if (vector == kIpiVector) {
+            ++ipisReceived;
+            cpu.memWrite(kFlagResponse, ipisReceived, 4);
+        }
+    }
+
+    void syscall(X86Cpu &, std::uint32_t) override {}
+    const char *name() const override { return "micro-guest-x86"; }
+
+    std::uint64_t ipisReceived = 0;
+    std::uint64_t irqCount = 0;
+    Cycles lastEoiCycles = 0;
+    Cycles totalEoiCycles = 0;
+};
+
+} // namespace
+
+MicroResults
+runX86Microbench(const X86MicroSetup &setup)
+{
+    X86Machine::Config mc;
+    mc.numCpus = 2;
+    mc.ramSize = 256 * kMiB;
+    mc.platform = setup.platform;
+    X86Machine machine(mc);
+    X86Host hostk(machine);
+    KvmX86 kvm(hostk);
+
+    MicroResults results;
+    const unsigned iters = setup.iterations;
+
+    std::unique_ptr<VmX86> vm;
+    MicroGuestX86 guest0;
+    MicroGuestX86 guest1;
+    bool responder_ready = false;
+    bool responder_done = false;
+
+    machine.cpu(0).setEntry([&] {
+        X86Cpu &cpu = machine.cpu(0);
+        hostk.boot(0);
+        kvm.initCpu(cpu);
+        vm = kvm.createVm(128 * kMiB);
+        VCpuX86 &vcpu0 = vm->addVcpu(0);
+        VCpuX86 &vcpu1 = vm->addVcpu(1);
+        vcpu0.setGuestOs(&guest0);
+        vcpu1.setGuestOs(&guest1);
+
+        vm->addKernelDevice(VmX86::kKernelTestDevBase, 0x1000,
+                            [](bool, Addr, std::uint64_t, unsigned) {
+                                return std::uint64_t{0};
+                            });
+        vm->setUserMmioHandler(
+            [](X86Cpu &c, VCpuX86 &, kvmx86::X86MmioExit &exit) {
+                c.compute(800); // QEMU device model work
+                exit.handled = true;
+                exit.data = 0;
+            });
+
+        vcpu0.run(cpu, [&](X86Cpu &c) {
+            c.setIf(true);
+            c.memWrite(kFlagResponse, 0, 4);
+            c.vmcall(kvmx86::vmcallnr::kTestHypercall);
+
+            Cycles t0 = c.now();
+            for (unsigned i = 0; i < iters; ++i)
+                c.vmcall(kvmx86::vmcallnr::kTestHypercall);
+            results.hypercall = (c.now() - t0) / iters;
+
+            t0 = c.now();
+            for (unsigned i = 0; i < iters; ++i)
+                c.vmcall(kvmx86::vmcallnr::kTrapOnly);
+            results.trap = (c.now() - t0) / iters;
+
+            t0 = c.now();
+            for (unsigned i = 0; i < iters; ++i)
+                c.memWrite(VmX86::kKernelTestDevBase, i, 4);
+            results.ioKernel = (c.now() - t0) / iters;
+
+            t0 = c.now();
+            for (unsigned i = 0; i < iters; ++i)
+                c.memWrite(X86Machine::kUartMmioBase, 'x', 4);
+            results.ioUser = (c.now() - t0) / iters;
+
+            while (!responder_ready)
+                c.compute(200);
+            t0 = c.now();
+            for (unsigned i = 0; i < iters; ++i) {
+                // ICR_HI selects VCPU1, ICR_LO sends — both trap and are
+                // emulated by the in-kernel APIC.
+                c.memWrite(x86::kApicBase + x86::apic::ICR_HI,
+                           std::uint64_t(1) << 56, 4);
+                c.memWrite(x86::kApicBase + x86::apic::ICR_LO, kIpiVector,
+                           4);
+                while (c.memRead(kFlagResponse, 4) < i + 1)
+                    c.compute(40);
+            }
+            results.ipi = (c.now() - t0) / iters;
+
+            guest0.totalEoiCycles = 0;
+            guest0.irqCount = 0;
+            for (unsigned i = 0; i < iters; ++i) {
+                // Self-IPI (shorthand 01) delivers a vector whose handler
+                // times its EOI.
+                c.memWrite(x86::kApicBase + x86::apic::ICR_LO,
+                           (1u << 18) | 0xC0, 4);
+                while (guest0.irqCount < i + 1)
+                    c.compute(40);
+            }
+            results.eoiAck = guest0.irqCount
+                                 ? guest0.totalEoiCycles / guest0.irqCount
+                                 : 0;
+
+            responder_done = true;
+        });
+    });
+
+    machine.cpu(1).setEntry([&] {
+        X86Cpu &cpu = machine.cpu(1);
+        hostk.boot(1);
+        kvm.initCpu(cpu);
+        while (!vm || vm->vcpus().size() < 2)
+            cpu.compute(500);
+        VCpuX86 &vcpu1 = *vm->vcpus()[1];
+        vcpu1.run(cpu, [&](X86Cpu &c) {
+            c.setIf(true);
+            responder_ready = true;
+            while (!responder_done)
+                c.compute(120);
+        });
+    });
+
+    machine.run();
+    return results;
+}
+
+} // namespace kvmarm::wl

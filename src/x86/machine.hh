@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The assembled x86 machine used as the comparison platform: CPUs with
+ * VMX, RAM, bus, local APICs, TSC. Two calibrations model the paper's
+ * laptop and server testbeds.
+ */
+
+#ifndef KVMARM_X86_MACHINE_HH
+#define KVMARM_X86_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/phys_mem.hh"
+#include "sim/machine_base.hh"
+#include "x86/apic.hh"
+#include "x86/cost.hh"
+#include "x86/cpu.hh"
+
+namespace kvmarm::x86 {
+
+/** Which of the paper's two x86 testbeds to model. */
+enum class X86Platform
+{
+    Laptop, //!< 2011 MacBook Air, dual 1.8 GHz i7-2677M
+    Server, //!< OVH SP3, dual 3.4 GHz Xeon E3-1245v2
+};
+
+/** A multicore x86 machine with VMX + EPT but no virtual APIC. */
+class X86Machine : public MachineBase
+{
+  public:
+    struct Config
+    {
+        unsigned numCpus = 2;
+        Addr ramSize = 512 * kMiB;
+        X86Platform platform = X86Platform::Laptop;
+    };
+
+    static constexpr Addr kRamBase = 0;
+    static constexpr Addr kUartMmioBase = 0xE0000000;
+    static constexpr Addr kVirtioBase = 0xE1000000; //!< 0x1000 per slot
+
+    X86Machine() : X86Machine(Config{}) {}
+    explicit X86Machine(const Config &config);
+
+    const Config &config() const { return config_; }
+    const X86CostModel &cost() const { return cost_; }
+
+    X86Cpu &cpu(CpuId id) { return *cpus_.at(id); }
+    PhysMem &ram() { return ram_; }
+    Bus &bus() { return bus_; }
+    LocalApic &apic() { return apic_; }
+
+    /** CPU clock in Hz (for the energy model). */
+    double clockHz() const;
+    double seconds(Cycles c) const { return double(c) / clockHz(); }
+
+  private:
+    Config config_;
+    X86CostModel cost_;
+    PhysMem ram_;
+    Bus bus_;
+    LocalApic apic_;
+    std::vector<std::unique_ptr<X86Cpu>> cpus_;
+};
+
+} // namespace kvmarm::x86
+
+#endif // KVMARM_X86_MACHINE_HH

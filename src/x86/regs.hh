@@ -1,0 +1,57 @@
+/**
+ * @file
+ * x86-64 register state for the comparison machine. Unlike ARM, most of
+ * this state is saved and restored *by hardware* on VMX transitions (the
+ * VMCS), which is the central design difference §2 of the paper draws.
+ */
+
+#ifndef KVMARM_X86_REGS_HH
+#define KVMARM_X86_REGS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace kvmarm::x86 {
+
+/** General purpose registers. */
+enum class Gpr : std::uint8_t
+{
+    RAX, RBX, RCX, RDX, RSI, RDI, RBP, RSP,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    RIP, RFLAGS,
+    NumRegs,
+};
+
+inline constexpr unsigned kNumGprs = static_cast<unsigned>(Gpr::NumRegs);
+
+/** Control/system registers the VMCS covers. */
+enum class Sysreg : std::uint8_t
+{
+    CR0, CR2, CR3, CR4, EFER,
+    CS, SS, DS, ES, FS, GS, TR, LDTR,
+    GDTR, IDTR,
+    FSBASE, GSBASE, KERNELGSBASE,
+    SYSENTER_CS, SYSENTER_ESP, SYSENTER_EIP,
+    NumRegs,
+};
+
+inline constexpr unsigned kNumSysregs =
+    static_cast<unsigned>(Sysreg::NumRegs);
+
+/** A full x86 register context (one VMCS guest/host state area). */
+struct RegisterFileX86
+{
+    std::array<std::uint64_t, kNumGprs> gpr{};
+    std::array<std::uint64_t, kNumSysregs> sys{};
+
+    std::uint64_t &operator[](Gpr r) { return gpr[unsigned(r)]; }
+    std::uint64_t operator[](Gpr r) const { return gpr[unsigned(r)]; }
+    std::uint64_t &operator[](Sysreg r) { return sys[unsigned(r)]; }
+    std::uint64_t operator[](Sysreg r) const { return sys[unsigned(r)]; }
+
+    bool operator==(const RegisterFileX86 &) const = default;
+};
+
+} // namespace kvmarm::x86
+
+#endif // KVMARM_X86_REGS_HH

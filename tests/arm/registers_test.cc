@@ -1,0 +1,72 @@
+/** @file Register file / Table 1 inventory tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arm/registers.hh"
+
+namespace kvmarm::arm {
+namespace {
+
+TEST(Registers, Table1Counts)
+{
+    // The paper's Table 1 numbers are structural facts of the model.
+    EXPECT_EQ(kNumGpRegs, 38u);
+    EXPECT_EQ(kNumCtrlRegs, 26u);
+    EXPECT_EQ(kNumVfpDataRegs, 32u);
+    EXPECT_EQ(kNumVfpCtrlRegs, 4u);
+}
+
+TEST(Registers, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < kNumGpRegs; ++i)
+        names.insert(gpRegName(static_cast<GpReg>(i)));
+    EXPECT_EQ(names.size(), kNumGpRegs);
+    names.clear();
+    for (unsigned i = 0; i < kNumCtrlRegs; ++i)
+        names.insert(ctrlRegName(static_cast<CtrlReg>(i)));
+    EXPECT_EQ(names.size(), kNumCtrlRegs);
+}
+
+TEST(Registers, Read64SpansSlots)
+{
+    RegisterFile rf;
+    rf.write64(CtrlReg::TTBR0Lo, CtrlReg::TTBR0Hi, 0x123456789ABCDEF0ull);
+    EXPECT_EQ(rf[CtrlReg::TTBR0Lo], 0x9ABCDEF0u);
+    EXPECT_EQ(rf[CtrlReg::TTBR0Hi], 0x12345678u);
+    EXPECT_EQ(rf.read64(CtrlReg::TTBR0Lo, CtrlReg::TTBR0Hi),
+              0x123456789ABCDEF0ull);
+}
+
+TEST(Registers, EqualityIsDeep)
+{
+    RegisterFile a, b;
+    EXPECT_EQ(a, b);
+    a[GpReg::R7] = 1;
+    EXPECT_NE(a, b);
+    b[GpReg::R7] = 1;
+    a.vfp[31] = 0x42;
+    EXPECT_NE(a, b);
+}
+
+TEST(Registers, InventoryMatchesPaperStructure)
+{
+    auto inv = stateInventory();
+    ASSERT_EQ(inv.size(), 13u); // 7 context-switch + 6 trap-and-emulate
+    unsigned ctx = 0, trap = 0;
+    for (const auto &row : inv) {
+        if (row.action == "Context Switch")
+            ++ctx;
+        else if (row.action == "Trap-and-Emulate")
+            ++trap;
+    }
+    EXPECT_EQ(ctx, 7u);
+    EXPECT_EQ(trap, 6u);
+    EXPECT_EQ(inv[0].count, "38");
+    EXPECT_EQ(inv[1].count, "26");
+}
+
+} // namespace
+} // namespace kvmarm::arm

@@ -1,0 +1,84 @@
+/** @file TLB unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "arm/tlb.hh"
+
+namespace kvmarm::arm {
+namespace {
+
+TlbKey
+key(std::uint8_t vmid, std::uint32_t asid, Addr vpage,
+    TlbRegime regime = TlbRegime::Pl0Pl1)
+{
+    return TlbKey{regime, vmid, asid, vpage};
+}
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb tlb;
+    TlbEntry e;
+    e.ppage = 0x9000;
+    tlb.insert(key(1, 2, 0x4000), e);
+    const TlbEntry *hit = tlb.lookup(key(1, 2, 0x4000));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->ppage, 0x9000u);
+}
+
+TEST(Tlb, TagsDistinguishAsidAndVmid)
+{
+    Tlb tlb;
+    tlb.insert(key(1, 1, 0x4000), {});
+    EXPECT_EQ(tlb.lookup(key(1, 2, 0x4000)), nullptr); // other ASID
+    EXPECT_EQ(tlb.lookup(key(2, 1, 0x4000)), nullptr); // other VMID
+    EXPECT_EQ(tlb.lookup(key(1, 1, 0x5000)), nullptr); // other page
+    EXPECT_EQ(tlb.lookup(key(1, 1, 0x4000, TlbRegime::Hyp)), nullptr);
+}
+
+TEST(Tlb, FlushVmidIsSelective)
+{
+    Tlb tlb;
+    tlb.insert(key(1, 0, 0x1000), {});
+    tlb.insert(key(2, 0, 0x2000), {});
+    tlb.flushVmid(1);
+    EXPECT_EQ(tlb.lookup(key(1, 0, 0x1000)), nullptr);
+    EXPECT_NE(tlb.lookup(key(2, 0, 0x2000)), nullptr);
+}
+
+TEST(Tlb, FlushVaRemovesAllTags)
+{
+    Tlb tlb;
+    tlb.insert(key(1, 1, 0x1000), {});
+    tlb.insert(key(1, 2, 0x1000), {});
+    tlb.insert(key(1, 1, 0x2000), {});
+    tlb.flushVa(0x1000);
+    EXPECT_EQ(tlb.lookup(key(1, 1, 0x1000)), nullptr);
+    EXPECT_EQ(tlb.lookup(key(1, 2, 0x1000)), nullptr);
+    EXPECT_NE(tlb.lookup(key(1, 1, 0x2000)), nullptr);
+}
+
+TEST(Tlb, FifoEvictionBoundsCapacity)
+{
+    Tlb tlb(4);
+    for (Addr i = 0; i < 8; ++i)
+        tlb.insert(key(0, 0, i * kPageSize), {});
+    EXPECT_LE(tlb.size(), 4u);
+    // Oldest evicted, newest present.
+    EXPECT_EQ(tlb.lookup(key(0, 0, 0)), nullptr);
+    EXPECT_NE(tlb.lookup(key(0, 0, 7 * kPageSize)), nullptr);
+}
+
+TEST(Tlb, ReinsertUpdatesInPlace)
+{
+    Tlb tlb(4);
+    TlbEntry e1, e2;
+    e1.ppage = 0x1000;
+    e2.ppage = 0x2000;
+    tlb.insert(key(0, 0, 0x4000), e1);
+    tlb.insert(key(0, 0, 0x4000), e2);
+    EXPECT_EQ(tlb.size(), 1u);
+    EXPECT_EQ(tlb.lookup(key(0, 0, 0x4000))->ppage, 0x2000u);
+}
+
+} // namespace
+} // namespace kvmarm::arm

@@ -1,0 +1,145 @@
+/** @file VGIC (GICH/GICV) hardware model tests. */
+
+#include <gtest/gtest.h>
+
+#include "arm/machine.hh"
+
+namespace kvmarm::arm {
+namespace {
+
+class VgicTest : public ::testing::Test
+{
+  protected:
+    VgicTest()
+    {
+        ArmMachine::Config mc;
+        mc.numCpus = 1;
+        mc.ramSize = 32 * kMiB;
+        machine = std::make_unique<ArmMachine>(mc);
+        // Hypervisor side: enable the virtual interface.
+        gich().write(0, gich::HCR, 1, 4);
+        // VM side: enable via VMCR (as the world switch restore does).
+        gich().write(0, gich::VMCR, 1 | (0xFFu << 24), 4);
+    }
+
+    VgicHypInterface &gich() { return machine->gich(); }
+    VgicCpuInterface &gicv() { return machine->gicv(); }
+
+    void
+    program(unsigned lr, IrqId virq, std::uint8_t prio = 0x10,
+            CpuId source = 0)
+    {
+        ListReg r;
+        r.virq = virq;
+        r.priority = prio;
+        r.state = LrState::Pending;
+        r.source = source;
+        gich().write(0, gich::LR0 + 4 * lr, r.pack(), 4);
+    }
+
+    std::unique_ptr<ArmMachine> machine;
+};
+
+TEST_F(VgicTest, ListRegPackUnpackRoundTrip)
+{
+    ListReg r;
+    r.virq = 27;
+    r.pirq = 27;
+    r.priority = 0x15;
+    r.state = LrState::PendingActive;
+    r.hw = true;
+    r.source = 3;
+    EXPECT_EQ(ListReg::unpack(r.pack()), r);
+}
+
+TEST_F(VgicTest, PendingLrRaisesVirtualLine)
+{
+    EXPECT_FALSE(gich().virqLineHigh(0));
+    program(0, 48);
+    EXPECT_TRUE(gich().virqLineHigh(0));
+}
+
+TEST_F(VgicTest, AckEoiWithoutTraps)
+{
+    // The guest's ACK and EOI are plain device accesses to GICV (paper
+    // §2): no hypervisor involvement modeled anywhere in this path.
+    program(0, 48);
+    std::uint32_t iar =
+        static_cast<std::uint32_t>(gicv().read(0, gicc::IAR, 4));
+    EXPECT_EQ(iar & 0x3FF, 48u);
+    EXPECT_FALSE(gich().virqLineHigh(0)); // active now
+
+    gicv().write(0, gicc::EOIR, iar, 4);
+    EXPECT_EQ(gich().emptyLrMask(0), 0xFu); // all 4 LRs empty again
+}
+
+TEST_F(VgicTest, HighestPriorityDeliveredFirst)
+{
+    program(0, 50, 0x10);
+    program(1, 51, 0x04); // numerically lower = higher priority
+    std::uint32_t first =
+        static_cast<std::uint32_t>(gicv().read(0, gicc::IAR, 4));
+    EXPECT_EQ(first & 0x3FF, 51u);
+}
+
+TEST_F(VgicTest, SgiSourceReportedInIar)
+{
+    program(2, 5, 0x10, 1);
+    std::uint32_t iar =
+        static_cast<std::uint32_t>(gicv().read(0, gicc::IAR, 4));
+    EXPECT_EQ(iar & 0x3FF, 5u);
+    EXPECT_EQ((iar >> 10) & 0x7, 1u);
+}
+
+TEST_F(VgicTest, MaintenanceIrqOnUnderflow)
+{
+    // With UIE set, draining the last LR raises the maintenance PPI so
+    // the hypervisor can refill (paper §3.5 overflow handling).
+    gich().write(0, gich::HCR, 1 | 2, 4); // EN | UIE
+    // Enable the distributor + maintenance PPI so the line is observable.
+    machine->gicd().write(0, gicd::CTLR, 1, 4);
+    machine->gicd().write(0, gicd::ISENABLER, 1u << kMaintenancePpi, 4);
+    program(0, 48);
+    std::uint32_t iar =
+        static_cast<std::uint32_t>(gicv().read(0, gicc::IAR, 4));
+    gicv().write(0, gicc::EOIR, iar, 4);
+    EXPECT_EQ(machine->gicd().bestPending(0).irq, kMaintenancePpi);
+}
+
+TEST_F(VgicTest, ElrsrTracksEmptySlots)
+{
+    EXPECT_EQ(gich().read(0, gich::ELRSR0, 4), 0xFu);
+    program(1, 48);
+    EXPECT_EQ(gich().read(0, gich::ELRSR0, 4), 0xFu & ~2u);
+}
+
+TEST_F(VgicTest, DisabledInterfaceDeliversNothing)
+{
+    program(0, 48);
+    gich().write(0, gich::HCR, 0, 4);
+    EXPECT_FALSE(gich().virqLineHigh(0));
+    EXPECT_EQ(gicv().read(0, gicc::IAR, 4) & 0x3FF, kSpuriousIrq);
+}
+
+TEST_F(VgicTest, VmPriorityMaskGatesDelivery)
+{
+    gich().write(0, gich::VMCR, 1 | (0x08u << 24), 4); // PMR = 8
+    program(0, 48, 0x10); // priority below the mask
+    EXPECT_FALSE(gich().virqLineHigh(0));
+    program(1, 49, 0x02);
+    EXPECT_TRUE(gich().virqLineHigh(0));
+}
+
+TEST_F(VgicTest, VtrReportsListRegisterCount)
+{
+    EXPECT_EQ(gich().read(0, gich::VTR, 4), kNumListRegs - 1);
+}
+
+TEST_F(VgicTest, SaveListCoversTable1Counts)
+{
+    EXPECT_EQ(kVgicCtrlSaveList.size(), 16u); // Table 1: 16 VGIC ctrl regs
+    EXPECT_EQ(kNumListRegs, 4u);              // Table 1: 4 list registers
+}
+
+} // namespace
+} // namespace kvmarm::arm

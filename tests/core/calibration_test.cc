@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Calibration tests: pin every cell of the paper's Table 3 to within a
+ * tolerance, so cost-model regressions are caught. The constants in
+ * arm/cost.hh and x86/cost.hh were chosen once; these tests assert the
+ * *composed paths* (which the simulator executes literally) still land
+ * where the paper measured them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/microbench.hh"
+#include "workload/microbench_x86.hh"
+
+namespace kvmarm {
+namespace {
+
+/** Relative tolerance: the looser bound covers the no-VGIC IPI path,
+ *  whose absolute composition the paper does not break down. */
+constexpr double kTightTol = 0.08;
+constexpr double kLooseTol = 0.16;
+
+void
+expectNearRel(double measured, double paper, double tol, const char *what)
+{
+    EXPECT_NEAR(measured / paper, 1.0, tol)
+        << what << ": measured " << measured << " vs paper " << paper;
+}
+
+TEST(Calibration, ArmWithVgicVtimers)
+{
+    wl::MicroResults r = wl::runArmMicrobench({true, true, 64});
+    expectNearRel(double(r.hypercall), 5326, kTightTol, "hypercall");
+    EXPECT_EQ(r.trap, 27u);
+    expectNearRel(double(r.ioKernel), 5990, kTightTol, "io kernel");
+    expectNearRel(double(r.ioUser), 10119, kTightTol, "io user");
+    expectNearRel(double(r.ipi), 14366, kTightTol, "ipi");
+    expectNearRel(double(r.eoiAck), 427, kTightTol, "eoi+ack");
+}
+
+TEST(Calibration, ArmWithoutVgicVtimers)
+{
+    wl::MicroResults r = wl::runArmMicrobench({false, false, 64});
+    expectNearRel(double(r.hypercall), 2270, kTightTol, "hypercall");
+    EXPECT_EQ(r.trap, 27u);
+    expectNearRel(double(r.ioKernel), 2850, kTightTol, "io kernel");
+    expectNearRel(double(r.ioUser), 6704, kTightTol, "io user");
+    expectNearRel(double(r.ipi), 32951, kLooseTol, "ipi");
+    expectNearRel(double(r.eoiAck), 13726, kTightTol, "eoi+ack");
+}
+
+TEST(Calibration, X86Laptop)
+{
+    wl::MicroResults r = wl::runX86Microbench({x86::X86Platform::Laptop, 64});
+    expectNearRel(double(r.hypercall), 1336, kTightTol, "hypercall");
+    expectNearRel(double(r.trap), 632, kTightTol, "trap");
+    expectNearRel(double(r.ioKernel), 3190, kTightTol, "io kernel");
+    expectNearRel(double(r.ioUser), 10985, kTightTol, "io user");
+    expectNearRel(double(r.ipi), 17138, kTightTol, "ipi");
+    expectNearRel(double(r.eoiAck), 2043, kTightTol, "eoi+ack");
+}
+
+TEST(Calibration, X86Server)
+{
+    wl::MicroResults r = wl::runX86Microbench({x86::X86Platform::Server, 64});
+    expectNearRel(double(r.hypercall), 1638, kTightTol, "hypercall");
+    expectNearRel(double(r.trap), 821, kTightTol, "trap");
+    expectNearRel(double(r.ioKernel), 3291, kTightTol, "io kernel");
+    expectNearRel(double(r.ioUser), 12218, kTightTol, "io user");
+    expectNearRel(double(r.ipi), 21177, kTightTol, "ipi");
+    expectNearRel(double(r.eoiAck), 2305, kTightTol, "eoi+ack");
+}
+
+/** The paper's qualitative Table 3 claims, independent of calibration. */
+TEST(Calibration, QualitativeClaims)
+{
+    wl::MicroResults arm = wl::runArmMicrobench({true, true, 64});
+    wl::MicroResults arm_no = wl::runArmMicrobench({false, false, 64});
+    wl::MicroResults lap =
+        wl::runX86Microbench({x86::X86Platform::Laptop, 64});
+
+    // "saving and restoring VGIC state ... accounts for over half of the
+    // cost of a world switch on ARM"
+    EXPECT_GT(arm.hypercall - arm_no.hypercall, arm.hypercall / 2);
+
+    // "trapping to ARM's Hyp mode is potentially faster than trapping to
+    // Intel's root mode" — by over an order of magnitude here.
+    EXPECT_LT(arm.trap * 10, lap.trap);
+
+    // "Despite its higher world switch cost, ARM is faster than x86" (IPI)
+    EXPECT_GT(arm.hypercall, lap.hypercall);
+    EXPECT_LT(arm.ipi, lap.ipi);
+
+    // "the operation is roughly 5 times faster on ARM than x86" (EOI+ACK)
+    EXPECT_NEAR(double(lap.eoiAck) / double(arm.eoiAck), 5.0, 1.5);
+
+    // "ARM without VGIC/vtimers is significantly slower ... because
+    // sending, EOIing and ACKing interrupts trap to the hypervisor"
+    EXPECT_GT(arm_no.ipi, 2 * arm.ipi);
+    EXPECT_GT(arm_no.eoiAck, 20 * arm.eoiAck);
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Isolation property tests (paper §3.3: "a VM cannot access memory
+ * belonging to the hypervisor or other VMs, including any sensitive
+ * data"): random guest accesses only ever reach pages the Stage-2 tables
+ * granted to that VM; two VMs never share a backing frame; the VM's view
+ * of the GIC never exposes the hypervisor control interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arm/machine.hh"
+#include "core/kvm.hh"
+#include "host/kernel.hh"
+#include "sim/random.hh"
+
+namespace kvmarm {
+namespace {
+
+using arm::ArmCpu;
+using arm::ArmMachine;
+
+class NullGuestOs : public arm::OsVectors
+{
+  public:
+    void irq(ArmCpu &) override {}
+    void svc(ArmCpu &, std::uint32_t) override {}
+    bool pageFault(ArmCpu &, Addr, bool, bool) override { return false; }
+    const char *name() const override { return "null-guest"; }
+};
+
+class IsolationTest : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    IsolationTest()
+    {
+        ArmMachine::Config mc;
+        mc.numCpus = 1;
+        mc.ramSize = 256 * kMiB;
+        machine = std::make_unique<ArmMachine>(mc);
+        hostk = std::make_unique<host::HostKernel>(*machine);
+        kvm = std::make_unique<core::Kvm>(*hostk);
+    }
+
+    std::unique_ptr<ArmMachine> machine;
+    std::unique_ptr<host::HostKernel> hostk;
+    std::unique_ptr<core::Kvm> kvm;
+    NullGuestOs guestOs;
+};
+
+/** Property: every Stage-2 translation a VM can obtain resolves to a
+ *  frame the host allocator handed to THAT VM. */
+TEST_P(IsolationTest, RandomAccessesStayInOwnFrames)
+{
+    Rng rng(GetParam() * 104729 + 7);
+    machine->cpu(0).setEntry([&] {
+        ArmCpu &cpu = machine->cpu(0);
+        hostk->boot(0);
+        ASSERT_TRUE(kvm->initCpu(cpu));
+
+        auto vm_a = kvm->createVm(16 * kMiB);
+        auto vm_b = kvm->createVm(16 * kMiB);
+        core::VCpu &vcpu_a = vm_a->addVcpu(0);
+        core::VCpu &vcpu_b = vm_b->addVcpu(0);
+        vcpu_a.setGuestOs(&guestOs);
+        vcpu_b.setGuestOs(&guestOs);
+
+        // Plant a secret in a host-owned page.
+        Addr secret_page = hostk->mm().allocPage();
+        machine->ram().write(secret_page, 0x5EC12E7, 8);
+
+        // VM A writes a tag to many random pages of its RAM.
+        vcpu_a.run(cpu, [&](ArmCpu &c) {
+            for (int i = 0; i < 48; ++i) {
+                Addr ipa = ArmMachine::kRamBase +
+                           pageAlignDown(rng.range(16 * kMiB));
+                c.memWrite(ipa, 0xAAAA0000 + i, 8);
+            }
+        });
+
+        // Every frame VM A obtained is exclusive: refcounted to VM A and
+        // distinct from the secret page.
+        std::set<Addr> a_frames;
+        for (Addr off = 0; off < 16 * kMiB; off += kPageSize) {
+            if (auto pa = vm_a->stage2().ipaToPa(ArmMachine::kRamBase + off))
+                a_frames.insert(pageAlignDown(*pa));
+        }
+        EXPECT_FALSE(a_frames.count(secret_page));
+
+        // VM B reads the same random IPAs: it must see zeroed pages (its
+        // own fresh frames), never VM A's tags or the secret.
+        vcpu_b.run(cpu, [&](ArmCpu &c) {
+            Rng rng2(GetParam() * 104729 + 7);
+            for (int i = 0; i < 48; ++i) {
+                Addr ipa = ArmMachine::kRamBase +
+                           pageAlignDown(rng2.range(16 * kMiB));
+                std::uint64_t v = c.memRead(ipa, 8);
+                EXPECT_EQ(v, 0u) << "VM B observed foreign data";
+            }
+        });
+
+        for (Addr off = 0; off < 16 * kMiB; off += kPageSize) {
+            if (auto pa =
+                    vm_b->stage2().ipaToPa(ArmMachine::kRamBase + off)) {
+                EXPECT_FALSE(a_frames.count(pageAlignDown(*pa)))
+                    << "VMs share a backing frame";
+            }
+        }
+    });
+    machine->run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsolationTest, ::testing::Range(0u, 6u));
+
+TEST_F(IsolationTest, GichIsInvisibleToTheVm)
+{
+    machine->cpu(0).setEntry([&] {
+        ArmCpu &cpu = machine->cpu(0);
+        hostk->boot(0);
+        ASSERT_TRUE(kvm->initCpu(cpu));
+        auto vm = kvm->createVm(16 * kMiB);
+        core::VCpu &vcpu = vm->addVcpu(0);
+        vcpu.setGuestOs(&guestOs);
+
+        vcpu.run(cpu, [&](ArmCpu &c) {
+            // Writing the hyp control interface from the VM must NOT
+            // reach the hardware: the access faults and goes to user
+            // space, which doesn't model that region.
+            c.memWrite(ArmMachine::kGichBase + arm::gich::HCR, 0, 4);
+            EXPECT_TRUE(machine->gich().bank(0).en)
+                << "VM disabled the hypervisor's GICH!";
+            // The GICC address, in contrast, reaches GICV transparently.
+            c.memWrite(ArmMachine::kGiccBase + arm::gicc::CTLR, 1, 4);
+            EXPECT_TRUE(machine->gich().bank(0).vmEnabled);
+        });
+        EXPECT_GE(vcpu.stats.counterValue("mmio.user"), 1u);
+    });
+    machine->run();
+}
+
+TEST_F(IsolationTest, TeardownReturnsEveryFrame)
+{
+    machine->cpu(0).setEntry([&] {
+        ArmCpu &cpu = machine->cpu(0);
+        hostk->boot(0);
+        ASSERT_TRUE(kvm->initCpu(cpu));
+        std::size_t free_before = hostk->mm().freePages();
+        {
+            auto vm = kvm->createVm(16 * kMiB);
+            core::VCpu &vcpu = vm->addVcpu(0);
+            vcpu.setGuestOs(&guestOs);
+            vcpu.run(cpu, [&](ArmCpu &c) {
+                for (Addr off = 0; off < 32 * kPageSize; off += kPageSize)
+                    c.memWrite(ArmMachine::kRamBase + off, 1, 8);
+            });
+            EXPECT_LT(hostk->mm().freePages(), free_before);
+        }
+        EXPECT_EQ(hostk->mm().freePages(), free_before);
+    });
+    machine->run();
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,170 @@
+/** @file Host kernel tests: boot, IRQ layer, hyp stub, user transitions. */
+
+#include <gtest/gtest.h>
+
+#include "arm/machine.hh"
+#include "host/kernel.hh"
+
+namespace kvmarm {
+namespace {
+
+using arm::ArmCpu;
+using arm::ArmMachine;
+using arm::Mode;
+
+class HostKernelTest : public ::testing::Test
+{
+  protected:
+    HostKernelTest()
+    {
+        ArmMachine::Config mc;
+        mc.numCpus = 2;
+        mc.ramSize = 128 * kMiB;
+        machine = std::make_unique<ArmMachine>(mc);
+        hostk = std::make_unique<host::HostKernel>(*machine);
+    }
+
+    std::unique_ptr<ArmMachine> machine;
+    std::unique_ptr<host::HostKernel> hostk;
+};
+
+TEST_F(HostKernelTest, BootEnablesMmuAndInterrupts)
+{
+    machine->cpu(0).setEntry([&] {
+        hostk->boot(0);
+        ArmCpu &cpu = machine->cpu(0);
+        EXPECT_EQ(cpu.mode(), Mode::Svc);
+        EXPECT_FALSE(cpu.irqMasked());
+        EXPECT_TRUE(cpu.regs()[arm::CtrlReg::SCTLR] & 1);
+        EXPECT_EQ(cpu.osVectors(), hostk.get());
+        // Kernel identity mapping works: a RAM read through the MMU.
+        machine->ram().write(ArmMachine::kRamBase + 0x100, 0x77, 4);
+        EXPECT_EQ(cpu.memRead(ArmMachine::kRamBase + 0x100, 4), 0x77u);
+    });
+    machine->run();
+}
+
+TEST_F(HostKernelTest, SecondaryCpuWaitsForBootCpu)
+{
+    bool cpu1_booted = false;
+    machine->cpu(1).setEntry([&] {
+        hostk->boot(1); // spins until cpu0 builds the tables
+        cpu1_booted = true;
+        EXPECT_TRUE(machine->cpu(1).regs()[arm::CtrlReg::SCTLR] & 1);
+    });
+    machine->cpu(0).setEntry([&] {
+        machine->cpu(0).compute(5000); // let cpu1 reach the holding pen
+        hostk->boot(0);
+    });
+    machine->run();
+    EXPECT_TRUE(cpu1_booted);
+}
+
+TEST_F(HostKernelTest, IrqDispatchAcksAndRoutes)
+{
+    machine->cpu(0).setEntry([&] {
+        hostk->boot(0);
+        ArmCpu &cpu = machine->cpu(0);
+        int handled = 0;
+        hostk->requestIrq(50, [&](ArmCpu &, IrqId irq) {
+            EXPECT_EQ(irq, 50u);
+            ++handled;
+        });
+        hostk->enableIrq(cpu, 50);
+        machine->gicd().raiseSpi(50, cpu.now());
+        cpu.compute(10);
+        EXPECT_EQ(handled, 1);
+        // Line dropped after ACK/EOI: no re-delivery.
+        cpu.compute(10);
+        EXPECT_EQ(handled, 1);
+    });
+    machine->run();
+}
+
+TEST_F(HostKernelTest, HypStubInstallsRuntimeVectors)
+{
+    class DummyHyp : public arm::HypVectors
+    {
+        void hypTrap(ArmCpu &, const arm::Hsr &) override {}
+        const char *name() const override { return "dummy"; }
+    } dummy;
+
+    machine->cpu(0).setEntry([&] {
+        hostk->boot(0);
+        ArmCpu &cpu = machine->cpu(0);
+        EXPECT_NE(cpu.hypVectors(), &dummy);
+        EXPECT_TRUE(hostk->installHypVectors(cpu, &dummy));
+        EXPECT_EQ(cpu.hypVectors(), &dummy);
+    });
+    machine->run();
+}
+
+TEST_F(HostKernelTest, NoHypBootMeansNoVectors)
+{
+    host::HostKernel::Config hc;
+    hc.bootedInHyp = false;
+    auto host2 = std::make_unique<host::HostKernel>(*machine, hc);
+    class DummyHyp : public arm::HypVectors
+    {
+        void hypTrap(ArmCpu &, const arm::Hsr &) override {}
+        const char *name() const override { return "dummy"; }
+    } dummy;
+    machine->cpu(0).setEntry([&] {
+        host2->boot(0);
+        EXPECT_FALSE(
+            host2->installHypVectors(machine->cpu(0), &dummy));
+        EXPECT_EQ(machine->cpu(0).hypVectors(), nullptr);
+    });
+    machine->run();
+}
+
+TEST_F(HostKernelTest, RunInUserspaceChargesTransitions)
+{
+    machine->cpu(0).setEntry([&] {
+        hostk->boot(0);
+        ArmCpu &cpu = machine->cpu(0);
+        Cycles t0 = cpu.now();
+        bool ran = false;
+        hostk->runInUserspace(cpu, [&] {
+            ran = true;
+            EXPECT_EQ(cpu.mode(), Mode::Usr);
+        });
+        EXPECT_TRUE(ran);
+        EXPECT_EQ(cpu.mode(), Mode::Svc);
+        EXPECT_GE(cpu.now() - t0, hostk->costs().kernelToUser +
+                                      hostk->costs().userToKernel);
+    });
+    machine->run();
+}
+
+TEST_F(HostKernelTest, BlockUntilWakesOnTimer)
+{
+    machine->cpu(0).setEntry([&] {
+        hostk->boot(0);
+        ArmCpu &cpu = machine->cpu(0);
+        bool flag = false;
+        hostk->timers().start(0, cpu.now() + 50000, [&] { flag = true; });
+        hostk->blockUntil(cpu, [&] { return flag; });
+        EXPECT_TRUE(flag);
+    });
+    machine->run();
+}
+
+TEST_F(HostKernelTest, SoftTimerCancel)
+{
+    machine->cpu(0).setEntry([&] {
+        hostk->boot(0);
+        ArmCpu &cpu = machine->cpu(0);
+        bool fired = false;
+        auto id =
+            hostk->timers().start(0, cpu.now() + 1000, [&] { fired = true; });
+        EXPECT_TRUE(hostk->timers().cancel(id));
+        cpu.compute(5000);
+        EXPECT_FALSE(fired);
+        EXPECT_FALSE(hostk->timers().cancel(id));
+    });
+    machine->run();
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,74 @@
+/** @file Host memory manager tests. */
+
+#include <gtest/gtest.h>
+
+#include "host/mm.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm {
+namespace {
+
+TEST(HostMm, AllocReturnsZeroedDistinctPages)
+{
+    PhysMem ram(0x80000000, kMiB);
+    ram.write(0x80000000 + kMiB - kPageSize, 0xFF, 1);
+    host::Mm mm(ram);
+    Addr a = mm.allocPage();
+    Addr b = mm.allocPage();
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(isPageAligned(a));
+    EXPECT_EQ(ram.read(a, 8), 0u); // zeroed even if previously dirty
+    EXPECT_EQ(mm.refcount(a), 1u);
+}
+
+TEST(HostMm, RefcountLifecycle)
+{
+    PhysMem ram(0, kMiB);
+    host::Mm mm(ram);
+    Addr a = mm.allocPage();
+    std::size_t free_before = mm.freePages();
+    mm.getPage(a);
+    mm.putPage(a);
+    EXPECT_EQ(mm.refcount(a), 1u);
+    EXPECT_EQ(mm.freePages(), free_before);
+    mm.putPage(a + 123); // sub-page addresses resolve to the frame
+    EXPECT_EQ(mm.refcount(a), 0u);
+    EXPECT_EQ(mm.freePages(), free_before + 1);
+}
+
+TEST(HostMm, FreedPagesAreReused)
+{
+    PhysMem ram(0, 4 * kPageSize);
+    host::Mm mm(ram);
+    Addr a = mm.allocPage();
+    mm.putPage(a);
+    Addr b = mm.allocPage();
+    EXPECT_EQ(a, b);
+}
+
+TEST(HostMm, ExhaustionIsFatal)
+{
+    PhysMem ram(0, 2 * kPageSize);
+    host::Mm mm(ram);
+    mm.allocPage();
+    mm.allocPage();
+    EXPECT_THROW(mm.allocPage(), FatalError);
+}
+
+TEST(HostMm, PutOnFreePagePanics)
+{
+    PhysMem ram(0, kMiB);
+    host::Mm mm(ram);
+    EXPECT_DEATH(mm.putPage(0x2000), "free page");
+}
+
+TEST(HostMm, GetUserPagesAllocates)
+{
+    PhysMem ram(0, kMiB);
+    host::Mm mm(ram);
+    Addr a = mm.getUserPages();
+    EXPECT_EQ(mm.refcount(a), 1u);
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,98 @@
+/** @file Bus / MMIO routing unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm {
+namespace {
+
+/** Scratch device recording accesses. */
+class ScratchDev : public MmioDevice
+{
+  public:
+    explicit ScratchDev(Cycles latency = 77) : latency_(latency) {}
+    std::string name() const override { return "scratch"; }
+    std::uint64_t
+    read(CpuId cpu, Addr offset, unsigned) override
+    {
+        lastCpu = cpu;
+        lastOffset = offset;
+        return 0xAB00 | offset;
+    }
+    void
+    write(CpuId cpu, Addr offset, std::uint64_t value, unsigned) override
+    {
+        lastCpu = cpu;
+        lastOffset = offset;
+        lastValue = value;
+    }
+    Cycles accessLatency() const override { return latency_; }
+
+    CpuId lastCpu = 99;
+    Addr lastOffset = 0;
+    std::uint64_t lastValue = 0;
+
+  private:
+    Cycles latency_;
+};
+
+class BusTest : public ::testing::Test
+{
+  protected:
+    BusTest() : ram(0x80000000, kMiB), bus(ram) {}
+    PhysMem ram;
+    Bus bus;
+    ScratchDev dev;
+};
+
+TEST_F(BusTest, RoutesRamAccesses)
+{
+    auto w = bus.write(0, 0x80000100, 0x55, 4);
+    EXPECT_TRUE(w.ok);
+    EXPECT_EQ(w.latency, Bus::kRamLatency);
+    auto r = bus.read(1, 0x80000100, 4);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.value, 0x55u);
+}
+
+TEST_F(BusTest, RoutesDeviceAccessesWithOffsetAndInitiator)
+{
+    bus.addDevice(0x09000000, 0x1000, &dev);
+    auto r = bus.read(1, 0x09000018, 4);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.value, 0xAB18u);
+    EXPECT_EQ(r.latency, 77u);
+    EXPECT_EQ(dev.lastCpu, 1u);
+    EXPECT_EQ(dev.lastOffset, 0x18u);
+
+    bus.write(0, 0x09000020, 42, 4);
+    EXPECT_EQ(dev.lastValue, 42u);
+    EXPECT_EQ(dev.lastCpu, 0u);
+}
+
+TEST_F(BusTest, UnmappedAddressFails)
+{
+    auto r = bus.read(0, 0x01234567, 4);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST_F(BusTest, RejectsOverlappingRegions)
+{
+    bus.addDevice(0x09000000, 0x1000, &dev);
+    ScratchDev other;
+    EXPECT_THROW(bus.addDevice(0x09000800, 0x1000, &other), FatalError);
+    EXPECT_THROW(bus.addDevice(0x80000000, 0x1000, &other), FatalError);
+}
+
+TEST_F(BusTest, RegionBaseLookup)
+{
+    bus.addDevice(0x09000000, 0x1000, &dev);
+    EXPECT_EQ(bus.regionBase(&dev), 0x09000000u);
+    EXPECT_EQ(bus.deviceAt(0x09000FFF), &dev);
+    EXPECT_EQ(bus.deviceAt(0x09001000), nullptr);
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,80 @@
+/** @file PhysMem unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm {
+namespace {
+
+TEST(PhysMem, ReadsBackWrites)
+{
+    PhysMem mem(0x80000000, 4 * kMiB);
+    mem.write(0x80000000, 0xDEADBEEF, 4);
+    mem.write(0x80000010, 0x1122334455667788ull, 8);
+    EXPECT_EQ(mem.read(0x80000000, 4), 0xDEADBEEFu);
+    EXPECT_EQ(mem.read(0x80000010, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x80000014, 4), 0x11223344u);
+}
+
+TEST(PhysMem, UnwrittenReadsZero)
+{
+    PhysMem mem(0, kMiB);
+    EXPECT_EQ(mem.read(0x1000, 8), 0u);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+}
+
+TEST(PhysMem, SparseAllocation)
+{
+    PhysMem mem(0, kGiB); // only touched pages materialize
+    mem.write(123 * kPageSize, 1, 1);
+    mem.write(9000 * kPageSize, 2, 1);
+    EXPECT_EQ(mem.touchedPages(), 2u);
+}
+
+TEST(PhysMem, CrossPageBlockCopy)
+{
+    PhysMem mem(0, kMiB);
+    std::vector<std::uint8_t> in(3 * kPageSize);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    mem.writeBlock(kPageSize / 2, in.data(), in.size());
+    std::vector<std::uint8_t> out(in.size());
+    mem.readBlock(kPageSize / 2, out.data(), out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(PhysMem, ZeroPageClears)
+{
+    PhysMem mem(0, kMiB);
+    mem.write(kPageSize + 8, 0xAB, 1);
+    mem.zeroPage(kPageSize);
+    EXPECT_EQ(mem.read(kPageSize + 8, 1), 0u);
+}
+
+TEST(PhysMem, ContainsChecksBounds)
+{
+    PhysMem mem(0x1000, 2 * kPageSize);
+    EXPECT_TRUE(mem.contains(0x1000));
+    EXPECT_TRUE(mem.contains(0x1000 + 2 * kPageSize - 1));
+    EXPECT_FALSE(mem.contains(0xFFF));
+    EXPECT_FALSE(mem.contains(0x1000 + 2 * kPageSize));
+    EXPECT_FALSE(mem.contains(0x1000 + 2 * kPageSize - 2, 4));
+}
+
+TEST(PhysMem, RejectsUnalignedConstruction)
+{
+    EXPECT_THROW(PhysMem(0x123, kPageSize), FatalError);
+    EXPECT_THROW(PhysMem(0, kPageSize + 5), FatalError);
+    EXPECT_THROW(PhysMem(0, 0), FatalError);
+}
+
+TEST(PhysMem, OutOfRangeAccessPanics)
+{
+    PhysMem mem(0, kPageSize);
+    EXPECT_DEATH(mem.read(kPageSize, 4), "outside RAM");
+}
+
+} // namespace
+} // namespace kvmarm

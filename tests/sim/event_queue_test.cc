@@ -1,0 +1,86 @@
+/** @file EventQueue unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace kvmarm {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.nextEventTime(), 10u);
+    EXPECT_EQ(q.runDue(25), 2u);
+    EXPECT_EQ(q.runDue(100), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoStableAtSameTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runDue(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // double cancel fails
+    EXPECT_EQ(q.runDue(100), 0u);
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextEventTimeSkipsCancelled)
+{
+    EventQueue q;
+    auto id = q.schedule(5, [] {});
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.nextEventTime(), 20u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        ++fired;
+        q.schedule(10, [&] { ++fired; }); // due immediately
+    });
+    EXPECT_EQ(q.runDue(10), 2u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastEventsRunOnNextDrain)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(5, [&] { ran = true; });
+    EXPECT_EQ(q.runDue(1000), 1u);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, OnScheduleHookFires)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    q.onSchedule = [&](Cycles when) { seen = when; };
+    q.schedule(42, [] {});
+    EXPECT_EQ(seen, 42u);
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Machine scheduler tests: deterministic min-clock interleaving, idle
+ * fast-forward, cross-CPU wakes — including the regression where a
+ * running CPU's yield threshold went stale after a cross-CPU event was
+ * scheduled, letting a spin-wait run megacycles past the wake.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arm/machine.hh"
+
+namespace kvmarm {
+namespace {
+
+using arm::ArmMachine;
+
+ArmMachine::Config
+smallConfig(unsigned cpus)
+{
+    ArmMachine::Config c;
+    c.numCpus = cpus;
+    c.ramSize = 32 * kMiB;
+    return c;
+}
+
+TEST(MachineSched, SingleCpuRunsToCompletion)
+{
+    ArmMachine machine(smallConfig(1));
+    bool done = false;
+    machine.cpu(0).setEntry([&] {
+        machine.cpu(0).compute(12345);
+        done = true;
+    });
+    machine.run();
+    EXPECT_TRUE(done);
+    EXPECT_GE(machine.cpu(0).now(), 12345u);
+}
+
+TEST(MachineSched, TwoCpusStayWithinQuantum)
+{
+    ArmMachine machine(smallConfig(2));
+    machine.setQuantum(500);
+    Cycles max_skew = 0;
+    auto spin = [&](CpuId id) {
+        for (int i = 0; i < 2000; ++i) {
+            machine.cpu(id).compute(50);
+            Cycles a = machine.cpu(0).now();
+            Cycles b = machine.cpu(1).now();
+            Cycles skew = a > b ? a - b : b - a;
+            max_skew = std::max(max_skew, skew);
+        }
+    };
+    machine.cpu(0).setEntry([&] { spin(0); });
+    machine.cpu(1).setEntry([&] { spin(1); });
+    machine.run();
+    // Bounded lockstep: one CPU never runs more than quantum + one op
+    // ahead of the other.
+    EXPECT_LE(max_skew, 500u + 100u);
+}
+
+TEST(MachineSched, IdleCpuFastForwardsToEvent)
+{
+    ArmMachine machine(smallConfig(1));
+    arm::ArmCpu &cpu = machine.cpu(0);
+    bool fired = false;
+    machine.cpu(0).setEntry([&] {
+        cpu.events().schedule(1000000, [&] { fired = true; });
+        cpu.waitUntil([&] { return fired; });
+    });
+    machine.run();
+    EXPECT_TRUE(fired);
+    EXPECT_GE(cpu.now(), 1000000u);
+    EXPECT_GE(cpu.idleCycles(), 900000u);
+}
+
+TEST(MachineSched, CrossCpuWakeIsPrompt)
+{
+    // Regression: a spinning CPU0 must notice CPU1's wake event promptly
+    // even though CPU0's yield threshold was computed before the event
+    // existed.
+    ArmMachine machine(smallConfig(2));
+    bool woke = false;
+    Cycles wake_seen_at = 0;
+    machine.cpu(0).setEntry([&] {
+        arm::ArmCpu &c0 = machine.cpu(0);
+        c0.compute(2000);
+        // Schedule a wake for CPU1 at ~+300 cycles, then spin.
+        machine.cpu(1).events().schedule(c0.now() + 300, [&] {
+            woke = true;
+        });
+        while (!woke)
+            c0.compute(50);
+        wake_seen_at = c0.now();
+    });
+    machine.cpu(1).setEntry([&] {
+        machine.cpu(1).waitUntil([&] { return woke; });
+    });
+    machine.run();
+    // CPU0 observed the wake within a few quanta, not megacycles later.
+    EXPECT_LT(wake_seen_at, 2000u + 300u + 3 * machine.quantum());
+}
+
+TEST(MachineSched, DeadlockIsDetected)
+{
+    ArmMachine machine(smallConfig(1));
+    machine.cpu(0).setEntry([&] {
+        machine.cpu(0).waitUntil([] { return false; }); // never satisfied
+    });
+    EXPECT_DEATH(machine.run(), "deadlock");
+}
+
+TEST(MachineSched, StopRequestAbandonsFibers)
+{
+    ArmMachine machine(smallConfig(2));
+    machine.cpu(0).setEntry([&] {
+        machine.cpu(0).compute(1000);
+        machine.requestStop();
+    });
+    machine.cpu(1).setEntry([&] {
+        while (true)
+            machine.cpu(1).compute(100); // never finishes on its own
+    });
+    machine.run(); // returns because of requestStop
+    EXPECT_TRUE(machine.stopRequested());
+}
+
+} // namespace
+} // namespace kvmarm

@@ -1,0 +1,85 @@
+/** @file Stats unit tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace kvmarm {
+namespace {
+
+TEST(Stats, CounterIncrements)
+{
+    StatGroup g;
+    g.counter("a").inc();
+    g.counter("a").inc(4);
+    EXPECT_EQ(g.counterValue("a"), 5u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(Stats, ScalarAggregates)
+{
+    Scalar s;
+    s.sample(2.0);
+    s.sample(6.0);
+    s.sample(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    StatGroup g;
+    g.counter("c").inc(7);
+    g.scalar("s").sample(3.0);
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("c"), 0u);
+    EXPECT_EQ(g.scalar("s").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatGroup g;
+    g.counter("traps.hvc").inc(3);
+    std::ostringstream os;
+    g.dump(os, "cpu0.");
+    EXPECT_NE(os.str().find("cpu0.traps.hvc"), std::string::npos);
+    EXPECT_NE(os.str().find("3"), std::string::npos);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad config %d", 7), FatalError);
+    try {
+        fatal("value=%d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.range(17), 17u);
+    }
+}
+
+} // namespace
+} // namespace kvmarm

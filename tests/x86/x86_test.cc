@@ -1,0 +1,267 @@
+/**
+ * @file
+ * x86 machine model tests: VMX transitions with hardware state swap, EPT
+ * routing, APIC behavior (IPIs, EOI, timer), rdtsc/TSC offsetting, and
+ * the exit taxonomy the comparison depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "x86/machine.hh"
+
+namespace kvmarm::x86 {
+namespace {
+
+/** Minimal EPT: identity over the first N bytes. */
+class IdentityEpt : public EptView
+{
+  public:
+    explicit IdentityEpt(Addr limit) : limit_(limit) {}
+    bool
+    translate(Addr gpa, Addr &hpa) override
+    {
+        if (gpa >= limit_)
+            return false;
+        hpa = gpa;
+        return true;
+    }
+
+  private:
+    Addr limit_;
+};
+
+/** Records exits and re-enters (or stops). */
+class RecordingVmx : public VmxHandler
+{
+  public:
+    void
+    vmexit(X86Cpu &cpu, const ExitInfo &info) override
+    {
+        exits.push_back(info);
+        if (info.reason == ExitReason::Vmcall && info.vmcallNr == 0xDEAD)
+            cpu.setStopVmx(true);
+        if (info.reason == ExitReason::EptViolation ||
+            info.reason == ExitReason::ApicAccess ||
+            info.reason == ExitReason::IoInstruction) {
+            cpu.completeMmio(0x99);
+        }
+    }
+    const char *name() const override { return "recording-vmx"; }
+
+    std::vector<ExitInfo> exits;
+};
+
+class X86Test : public ::testing::Test
+{
+  protected:
+    X86Test()
+    {
+        X86Machine::Config mc;
+        mc.numCpus = 2;
+        mc.ramSize = 64 * kMiB;
+        machine = std::make_unique<X86Machine>(mc);
+        machine->cpu(0).setVmxHandler(&vmx);
+    }
+
+    void
+    run(const std::function<void()> &body)
+    {
+        machine->cpu(0).setEntry(body);
+        machine->run();
+    }
+
+    X86Cpu &cpu() { return machine->cpu(0); }
+
+    std::unique_ptr<X86Machine> machine;
+    RecordingVmx vmx;
+    IdentityEpt ept{32 * kMiB};
+};
+
+TEST_F(X86Test, VmcsSwapsFullStateInHardware)
+{
+    run([&] {
+        cpu().regs()[Gpr::RAX] = 0x1111; // host value
+        cpu().regs()[Sysreg::CR3] = 0x2222;
+        cpu().vmcs().guestRegs[Gpr::RAX] = 0x3333;
+        cpu().vmcs().guestRegs[Sysreg::CR3] = 0x4444;
+        cpu().vmcs().ept = &ept;
+
+        Cycles t0 = cpu().now();
+        cpu().vmentry();
+        // Guest state loaded wholesale at fixed hardware cost.
+        EXPECT_EQ(cpu().regs()[Gpr::RAX], 0x3333u);
+        EXPECT_EQ(cpu().regs()[Sysreg::CR3], 0x4444u);
+        EXPECT_TRUE(cpu().nonRoot());
+        EXPECT_EQ(cpu().now() - t0, machine->cost().vmentryHw);
+
+        cpu().regs()[Gpr::RAX] = 0x5555; // guest modifies
+        cpu().vmcall(0xDEAD);            // exit and stop
+        EXPECT_FALSE(cpu().nonRoot());
+        EXPECT_EQ(cpu().regs()[Gpr::RAX], 0x1111u); // host restored
+        EXPECT_EQ(cpu().vmcs().guestRegs[Gpr::RAX], 0x5555u);
+    });
+}
+
+TEST_F(X86Test, EptViolationExitsWithGpa)
+{
+    run([&] {
+        cpu().vmcs().ept = &ept;
+        cpu().vmentry();
+        cpu().memWrite(10 * kMiB, 7, 8); // mapped: no exit
+        EXPECT_TRUE(vmx.exits.empty());
+        (void)cpu().memRead(40 * kMiB + 0x24, 4); // beyond the EPT
+        ASSERT_EQ(vmx.exits.size(), 1u);
+        EXPECT_EQ(vmx.exits[0].reason, ExitReason::EptViolation);
+        EXPECT_EQ(vmx.exits[0].gpa, 40 * kMiB + 0x24);
+        cpu().vmcall(0xDEAD);
+    });
+}
+
+TEST_F(X86Test, ApicAccessAlwaysExitsInGuest)
+{
+    run([&] {
+        cpu().vmcs().ept = &ept;
+        cpu().vmentry();
+        cpu().memWrite(kApicBase + apic::EOI, 0, 4);
+        ASSERT_EQ(vmx.exits.size(), 1u);
+        EXPECT_EQ(vmx.exits[0].reason, ExitReason::ApicAccess);
+        EXPECT_EQ(vmx.exits[0].apicOffset, apic::EOI);
+        EXPECT_TRUE(vmx.exits[0].isWrite);
+        cpu().vmcall(0xDEAD);
+        // Natively the same access goes straight to the device.
+        machine->apic().bank(0).inService.push_back(0x40);
+        cpu().memWrite(kApicBase + apic::EOI, 0, 4);
+        EXPECT_TRUE(machine->apic().bank(0).inService.empty());
+    });
+}
+
+TEST_F(X86Test, RdtscNeverExitsAndHonorsOffset)
+{
+    run([&] {
+        cpu().vmcs().ept = &ept;
+        cpu().vmcs().tscOffset = 5000;
+        cpu().compute(10000);
+        std::uint64_t host_tsc = cpu().rdtsc();
+        cpu().vmentry();
+        std::uint64_t guest_tsc = cpu().rdtsc();
+        EXPECT_TRUE(vmx.exits.empty()); // no trap (paper §2)
+        EXPECT_LT(guest_tsc, host_tsc + 1000);
+        EXPECT_GE(host_tsc, guest_tsc); // offset subtracted
+        cpu().vmcall(0xDEAD);
+    });
+}
+
+TEST_F(X86Test, PortIoExitsWithFullDecodeInfo)
+{
+    run([&] {
+        cpu().vmcs().ept = &ept;
+        cpu().vmentry();
+        cpu().portIo(0x3F8, true, 'x');
+        ASSERT_EQ(vmx.exits.size(), 1u);
+        EXPECT_EQ(vmx.exits[0].reason, ExitReason::IoInstruction);
+        EXPECT_EQ(vmx.exits[0].port, 0x3F8);
+        EXPECT_EQ(vmx.exits[0].value, 'x');
+        cpu().vmcall(0xDEAD);
+    });
+}
+
+TEST_F(X86Test, ApicIpiDeliversAcrossCpus)
+{
+    bool handled = false;
+    class Os : public X86OsVectors
+    {
+      public:
+        explicit Os(bool &flag) : flag_(flag) {}
+        void
+        interrupt(X86Cpu &cpu, std::uint8_t vec) override
+        {
+            if (vec == 0xD0)
+                flag_ = true;
+            cpu.memWrite(kApicBase + apic::EOI, 0, 4);
+        }
+        void syscall(X86Cpu &, std::uint32_t) override {}
+        const char *name() const override { return "os"; }
+
+      private:
+        bool &flag_;
+    } os(handled);
+
+    machine->cpu(0).setEntry([&] {
+        machine->cpu(0).memWrite(kApicBase + apic::ICR_HI,
+                                 std::uint64_t(1) << 56, 4);
+        machine->cpu(0).memWrite(kApicBase + apic::ICR_LO, 0xD0, 4);
+        while (!handled)
+            machine->cpu(0).compute(100);
+    });
+    machine->cpu(1).setEntry([&] {
+        machine->cpu(1).setOsVectors(&os);
+        machine->cpu(1).setIf(true);
+        while (!handled)
+            machine->cpu(1).compute(100);
+    });
+    machine->run();
+    EXPECT_TRUE(handled);
+}
+
+TEST_F(X86Test, ApicTimerFiresVector)
+{
+    int fired = 0;
+    class Os : public X86OsVectors
+    {
+      public:
+        explicit Os(int &n) : n_(n) {}
+        void
+        interrupt(X86Cpu &cpu, std::uint8_t vec) override
+        {
+            if (vec == 0xEF)
+                ++n_;
+            cpu.memWrite(kApicBase + apic::EOI, 0, 4);
+        }
+        void syscall(X86Cpu &, std::uint32_t) override {}
+        const char *name() const override { return "os"; }
+
+      private:
+        int &n_;
+    } os(fired);
+
+    machine->cpu(0).setEntry([&] {
+        X86Cpu &c = machine->cpu(0);
+        c.setOsVectors(&os);
+        c.setIf(true);
+        c.memWrite(kApicBase + apic::LVT_TIMER, 0xEF, 4);
+        c.memWrite(kApicBase + apic::TIMER_INIT, 5000, 4);
+        c.compute(10000);
+        EXPECT_EQ(fired, 1);
+        // TSC-deadline flavour too.
+        c.wrmsrTscDeadline(c.rdtsc() + 4000);
+        c.compute(10000);
+        EXPECT_EQ(fired, 2);
+    });
+    machine->run();
+}
+
+TEST_F(X86Test, HltWaitsForInterrupt)
+{
+    run([&] {
+        class Os : public X86OsVectors
+        {
+          public:
+            void
+            interrupt(X86Cpu &cpu, std::uint8_t) override
+            {
+                cpu.memWrite(kApicBase + apic::EOI, 0, 4);
+            }
+            void syscall(X86Cpu &, std::uint32_t) override {}
+            const char *name() const override { return "os"; }
+        } os;
+        cpu().setOsVectors(&os);
+        cpu().setIf(true);
+        machine->apic().postVector(0, 0x55, cpu().now() + 20000);
+        Cycles t0 = cpu().now();
+        cpu().hlt();
+        EXPECT_GE(cpu().now() - t0, 19000u);
+    });
+}
+
+} // namespace
+} // namespace kvmarm::x86
