@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ipi.dir/ablation_ipi.cc.o"
+  "CMakeFiles/ablation_ipi.dir/ablation_ipi.cc.o.d"
+  "ablation_ipi"
+  "ablation_ipi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ipi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

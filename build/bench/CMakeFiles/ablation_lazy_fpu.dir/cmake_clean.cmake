@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_fpu.dir/ablation_lazy_fpu.cc.o"
+  "CMakeFiles/ablation_lazy_fpu.dir/ablation_lazy_fpu.cc.o.d"
+  "ablation_lazy_fpu"
+  "ablation_lazy_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

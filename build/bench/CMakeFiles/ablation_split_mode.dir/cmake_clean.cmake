@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_mode.dir/ablation_split_mode.cc.o"
+  "CMakeFiles/ablation_split_mode.dir/ablation_split_mode.cc.o.d"
+  "ablation_split_mode"
+  "ablation_split_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vgic.dir/ablation_vgic.cc.o"
+  "CMakeFiles/ablation_vgic.dir/ablation_vgic.cc.o.d"
+  "ablation_vgic"
+  "ablation_vgic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vgic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

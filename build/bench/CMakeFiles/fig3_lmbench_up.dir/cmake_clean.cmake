@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lmbench_up.dir/fig3_lmbench_up.cc.o"
+  "CMakeFiles/fig3_lmbench_up.dir/fig3_lmbench_up.cc.o.d"
+  "fig3_lmbench_up"
+  "fig3_lmbench_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lmbench_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lmbench_smp.dir/fig4_lmbench_smp.cc.o"
+  "CMakeFiles/fig4_lmbench_smp.dir/fig4_lmbench_smp.cc.o.d"
+  "fig4_lmbench_smp"
+  "fig4_lmbench_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lmbench_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_apps_up.dir/fig5_apps_up.cc.o"
+  "CMakeFiles/fig5_apps_up.dir/fig5_apps_up.cc.o.d"
+  "fig5_apps_up"
+  "fig5_apps_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_apps_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

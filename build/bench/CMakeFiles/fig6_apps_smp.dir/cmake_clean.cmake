@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_apps_smp.dir/fig6_apps_smp.cc.o"
+  "CMakeFiles/fig6_apps_smp.dir/fig6_apps_smp.cc.o.d"
+  "fig6_apps_smp"
+  "fig6_apps_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_apps_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/kvmarm_bench_util.dir/bench_util.cc.o.d"
+  "libkvmarm_bench_util.a"
+  "libkvmarm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

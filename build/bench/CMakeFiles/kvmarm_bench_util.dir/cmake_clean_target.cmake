@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvmarm_bench_util.a"
+)

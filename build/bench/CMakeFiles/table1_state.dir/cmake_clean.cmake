@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_state.dir/table1_state.cc.o"
+  "CMakeFiles/table1_state.dir/table1_state.cc.o.d"
+  "table1_state"
+  "table1_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_micro.dir/table3_micro.cc.o"
+  "CMakeFiles/table3_micro.dir/table3_micro.cc.o.d"
+  "table3_micro"
+  "table3_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

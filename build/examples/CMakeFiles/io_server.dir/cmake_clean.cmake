@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_server.dir/io_server.cpp.o"
+  "CMakeFiles/io_server.dir/io_server.cpp.o.d"
+  "io_server"
+  "io_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_vm.dir/multicore_vm.cpp.o"
+  "CMakeFiles/multicore_vm.dir/multicore_vm.cpp.o.d"
+  "multicore_vm"
+  "multicore_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_migrate.dir/vm_migrate.cpp.o"
+  "CMakeFiles/vm_migrate.dir/vm_migrate.cpp.o.d"
+  "vm_migrate"
+  "vm_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("arm")
+subdirs("x86")
+subdirs("host")
+subdirs("core")
+subdirs("kvmx86")
+subdirs("baremetal")
+subdirs("vdev")
+subdirs("workload")
+subdirs("power")

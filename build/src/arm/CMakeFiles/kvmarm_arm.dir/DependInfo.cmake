@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arm/cpu.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/cpu.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/cpu.cc.o.d"
+  "/root/repo/src/arm/gic.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/gic.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/gic.cc.o.d"
+  "/root/repo/src/arm/hsr.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/hsr.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/hsr.cc.o.d"
+  "/root/repo/src/arm/machine.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/machine.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/machine.cc.o.d"
+  "/root/repo/src/arm/mmu.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/mmu.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/mmu.cc.o.d"
+  "/root/repo/src/arm/pagetable.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/pagetable.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/pagetable.cc.o.d"
+  "/root/repo/src/arm/registers.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/registers.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/registers.cc.o.d"
+  "/root/repo/src/arm/timer.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/timer.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/timer.cc.o.d"
+  "/root/repo/src/arm/tlb.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/tlb.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/tlb.cc.o.d"
+  "/root/repo/src/arm/vgic.cc" "src/arm/CMakeFiles/kvmarm_arm.dir/vgic.cc.o" "gcc" "src/arm/CMakeFiles/kvmarm_arm.dir/vgic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_arm.dir/cpu.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/cpu.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/gic.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/gic.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/hsr.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/hsr.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/machine.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/machine.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/mmu.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/mmu.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/pagetable.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/pagetable.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/registers.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/registers.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/timer.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/timer.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/tlb.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/tlb.cc.o.d"
+  "CMakeFiles/kvmarm_arm.dir/vgic.cc.o"
+  "CMakeFiles/kvmarm_arm.dir/vgic.cc.o.d"
+  "libkvmarm_arm.a"
+  "libkvmarm_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

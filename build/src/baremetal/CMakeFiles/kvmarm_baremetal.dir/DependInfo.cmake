@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baremetal/baremetal_hv.cc" "src/baremetal/CMakeFiles/kvmarm_baremetal.dir/baremetal_hv.cc.o" "gcc" "src/baremetal/CMakeFiles/kvmarm_baremetal.dir/baremetal_hv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/kvmarm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_baremetal.dir/baremetal_hv.cc.o"
+  "CMakeFiles/kvmarm_baremetal.dir/baremetal_hv.cc.o.d"
+  "libkvmarm_baremetal.a"
+  "libkvmarm_baremetal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_baremetal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/highvisor.cc" "src/core/CMakeFiles/kvmarm_core.dir/highvisor.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/highvisor.cc.o.d"
+  "/root/repo/src/core/hyp_mem.cc" "src/core/CMakeFiles/kvmarm_core.dir/hyp_mem.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/hyp_mem.cc.o.d"
+  "/root/repo/src/core/kvm.cc" "src/core/CMakeFiles/kvmarm_core.dir/kvm.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/kvm.cc.o.d"
+  "/root/repo/src/core/lowvisor.cc" "src/core/CMakeFiles/kvmarm_core.dir/lowvisor.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/lowvisor.cc.o.d"
+  "/root/repo/src/core/stage2_mmu.cc" "src/core/CMakeFiles/kvmarm_core.dir/stage2_mmu.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/stage2_mmu.cc.o.d"
+  "/root/repo/src/core/vcpu.cc" "src/core/CMakeFiles/kvmarm_core.dir/vcpu.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/vcpu.cc.o.d"
+  "/root/repo/src/core/vgic_emul.cc" "src/core/CMakeFiles/kvmarm_core.dir/vgic_emul.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/vgic_emul.cc.o.d"
+  "/root/repo/src/core/vm.cc" "src/core/CMakeFiles/kvmarm_core.dir/vm.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/vm.cc.o.d"
+  "/root/repo/src/core/vtimer.cc" "src/core/CMakeFiles/kvmarm_core.dir/vtimer.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/vtimer.cc.o.d"
+  "/root/repo/src/core/world_switch.cc" "src/core/CMakeFiles/kvmarm_core.dir/world_switch.cc.o" "gcc" "src/core/CMakeFiles/kvmarm_core.dir/world_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/kvmarm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/kvmarm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

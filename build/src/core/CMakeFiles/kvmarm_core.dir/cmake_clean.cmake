@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_core.dir/highvisor.cc.o"
+  "CMakeFiles/kvmarm_core.dir/highvisor.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/hyp_mem.cc.o"
+  "CMakeFiles/kvmarm_core.dir/hyp_mem.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/kvm.cc.o"
+  "CMakeFiles/kvmarm_core.dir/kvm.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/lowvisor.cc.o"
+  "CMakeFiles/kvmarm_core.dir/lowvisor.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/stage2_mmu.cc.o"
+  "CMakeFiles/kvmarm_core.dir/stage2_mmu.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/vcpu.cc.o"
+  "CMakeFiles/kvmarm_core.dir/vcpu.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/vgic_emul.cc.o"
+  "CMakeFiles/kvmarm_core.dir/vgic_emul.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/vm.cc.o"
+  "CMakeFiles/kvmarm_core.dir/vm.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/vtimer.cc.o"
+  "CMakeFiles/kvmarm_core.dir/vtimer.cc.o.d"
+  "CMakeFiles/kvmarm_core.dir/world_switch.cc.o"
+  "CMakeFiles/kvmarm_core.dir/world_switch.cc.o.d"
+  "libkvmarm_core.a"
+  "libkvmarm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

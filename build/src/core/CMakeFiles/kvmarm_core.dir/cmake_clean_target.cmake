@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvmarm_core.a"
+)

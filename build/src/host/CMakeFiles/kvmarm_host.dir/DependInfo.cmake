@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/kernel.cc" "src/host/CMakeFiles/kvmarm_host.dir/kernel.cc.o" "gcc" "src/host/CMakeFiles/kvmarm_host.dir/kernel.cc.o.d"
+  "/root/repo/src/host/mm.cc" "src/host/CMakeFiles/kvmarm_host.dir/mm.cc.o" "gcc" "src/host/CMakeFiles/kvmarm_host.dir/mm.cc.o.d"
+  "/root/repo/src/host/timers.cc" "src/host/CMakeFiles/kvmarm_host.dir/timers.cc.o" "gcc" "src/host/CMakeFiles/kvmarm_host.dir/timers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arm/CMakeFiles/kvmarm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

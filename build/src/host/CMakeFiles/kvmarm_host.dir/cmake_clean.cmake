@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_host.dir/kernel.cc.o"
+  "CMakeFiles/kvmarm_host.dir/kernel.cc.o.d"
+  "CMakeFiles/kvmarm_host.dir/mm.cc.o"
+  "CMakeFiles/kvmarm_host.dir/mm.cc.o.d"
+  "CMakeFiles/kvmarm_host.dir/timers.cc.o"
+  "CMakeFiles/kvmarm_host.dir/timers.cc.o.d"
+  "libkvmarm_host.a"
+  "libkvmarm_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_kvmx86.dir/host_x86.cc.o"
+  "CMakeFiles/kvmarm_kvmx86.dir/host_x86.cc.o.d"
+  "CMakeFiles/kvmarm_kvmx86.dir/kvm_x86.cc.o"
+  "CMakeFiles/kvmarm_kvmx86.dir/kvm_x86.cc.o.d"
+  "libkvmarm_kvmx86.a"
+  "libkvmarm_kvmx86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_kvmx86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kvmarm_kvmx86.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for kvmarm_kvmx86.
+# This may be replaced when dependencies are built.

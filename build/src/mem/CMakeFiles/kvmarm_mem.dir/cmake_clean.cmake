@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_mem.dir/bus.cc.o"
+  "CMakeFiles/kvmarm_mem.dir/bus.cc.o.d"
+  "CMakeFiles/kvmarm_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/kvmarm_mem.dir/phys_mem.cc.o.d"
+  "libkvmarm_mem.a"
+  "libkvmarm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_power.dir/energy.cc.o"
+  "CMakeFiles/kvmarm_power.dir/energy.cc.o.d"
+  "libkvmarm_power.a"
+  "libkvmarm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/power/CMakeFiles/kvmarm_power.dir/energy.cc.o: \
+ /root/repo/src/power/energy.cc /usr/include/stdc-predef.h \
+ /root/repo/src/power/energy.hh

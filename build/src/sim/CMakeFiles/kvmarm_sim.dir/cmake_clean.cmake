@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_sim.dir/cpu_base.cc.o"
+  "CMakeFiles/kvmarm_sim.dir/cpu_base.cc.o.d"
+  "CMakeFiles/kvmarm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/kvmarm_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/kvmarm_sim.dir/fiber.cc.o"
+  "CMakeFiles/kvmarm_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/kvmarm_sim.dir/logging.cc.o"
+  "CMakeFiles/kvmarm_sim.dir/logging.cc.o.d"
+  "CMakeFiles/kvmarm_sim.dir/machine_base.cc.o"
+  "CMakeFiles/kvmarm_sim.dir/machine_base.cc.o.d"
+  "CMakeFiles/kvmarm_sim.dir/stats.cc.o"
+  "CMakeFiles/kvmarm_sim.dir/stats.cc.o.d"
+  "libkvmarm_sim.a"
+  "libkvmarm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

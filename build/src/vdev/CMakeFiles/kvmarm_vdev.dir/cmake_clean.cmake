@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_vdev.dir/qemu.cc.o"
+  "CMakeFiles/kvmarm_vdev.dir/qemu.cc.o.d"
+  "libkvmarm_vdev.a"
+  "libkvmarm_vdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_vdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/apps.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/apps.cc.o.d"
+  "/root/repo/src/workload/arm_port.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/arm_port.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/arm_port.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/harness.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/harness.cc.o.d"
+  "/root/repo/src/workload/linux_model.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/linux_model.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/linux_model.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/microbench.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/microbench.cc.o.d"
+  "/root/repo/src/workload/microbench_x86.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/microbench_x86.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/microbench_x86.cc.o.d"
+  "/root/repo/src/workload/x86_port.cc" "src/workload/CMakeFiles/kvmarm_workload.dir/x86_port.cc.o" "gcc" "src/workload/CMakeFiles/kvmarm_workload.dir/x86_port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kvmarm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvmx86/CMakeFiles/kvmarm_kvmx86.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdev/CMakeFiles/kvmarm_vdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/kvmarm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/kvmarm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/kvmarm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/kvmarm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_workload.dir/apps.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/apps.cc.o.d"
+  "CMakeFiles/kvmarm_workload.dir/arm_port.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/arm_port.cc.o.d"
+  "CMakeFiles/kvmarm_workload.dir/harness.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/harness.cc.o.d"
+  "CMakeFiles/kvmarm_workload.dir/linux_model.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/linux_model.cc.o.d"
+  "CMakeFiles/kvmarm_workload.dir/microbench.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/kvmarm_workload.dir/microbench_x86.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/microbench_x86.cc.o.d"
+  "CMakeFiles/kvmarm_workload.dir/x86_port.cc.o"
+  "CMakeFiles/kvmarm_workload.dir/x86_port.cc.o.d"
+  "libkvmarm_workload.a"
+  "libkvmarm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/apic.cc" "src/x86/CMakeFiles/kvmarm_x86.dir/apic.cc.o" "gcc" "src/x86/CMakeFiles/kvmarm_x86.dir/apic.cc.o.d"
+  "/root/repo/src/x86/cpu.cc" "src/x86/CMakeFiles/kvmarm_x86.dir/cpu.cc.o" "gcc" "src/x86/CMakeFiles/kvmarm_x86.dir/cpu.cc.o.d"
+  "/root/repo/src/x86/machine.cc" "src/x86/CMakeFiles/kvmarm_x86.dir/machine.cc.o" "gcc" "src/x86/CMakeFiles/kvmarm_x86.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmarm_x86.dir/apic.cc.o"
+  "CMakeFiles/kvmarm_x86.dir/apic.cc.o.d"
+  "CMakeFiles/kvmarm_x86.dir/cpu.cc.o"
+  "CMakeFiles/kvmarm_x86.dir/cpu.cc.o.d"
+  "CMakeFiles/kvmarm_x86.dir/machine.cc.o"
+  "CMakeFiles/kvmarm_x86.dir/machine.cc.o.d"
+  "libkvmarm_x86.a"
+  "libkvmarm_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmarm_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arm_test.dir/arm/cpu_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/cpu_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/gic_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/gic_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/mmu_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/mmu_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/pagetable_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/pagetable_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/registers_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/registers_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/timer_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/timer_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/tlb_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/tlb_test.cc.o.d"
+  "CMakeFiles/arm_test.dir/arm/vgic_test.cc.o"
+  "CMakeFiles/arm_test.dir/arm/vgic_test.cc.o.d"
+  "arm_test"
+  "arm_test.pdb"
+  "arm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

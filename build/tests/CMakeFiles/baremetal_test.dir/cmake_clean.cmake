@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baremetal_test.dir/baremetal/baremetal_test.cc.o"
+  "CMakeFiles/baremetal_test.dir/baremetal/baremetal_test.cc.o.d"
+  "baremetal_test"
+  "baremetal_test.pdb"
+  "baremetal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baremetal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/isolation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/isolation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/migration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/migration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stage2_hyp_mem_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stage2_hyp_mem_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/vgic_emul_test.cc.o"
+  "CMakeFiles/core_test.dir/core/vgic_emul_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/vtimer_mmio_test.cc.o"
+  "CMakeFiles/core_test.dir/core/vtimer_mmio_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/world_switch_test.cc.o"
+  "CMakeFiles/core_test.dir/core/world_switch_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

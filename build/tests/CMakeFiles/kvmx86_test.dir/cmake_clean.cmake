@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvmx86_test.dir/kvmx86/kvmx86_test.cc.o"
+  "CMakeFiles/kvmx86_test.dir/kvmx86/kvmx86_test.cc.o.d"
+  "kvmx86_test"
+  "kvmx86_test.pdb"
+  "kvmx86_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvmx86_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdev_test.dir/vdev/vdev_test.cc.o"
+  "CMakeFiles/vdev_test.dir/vdev/vdev_test.cc.o.d"
+  "vdev_test"
+  "vdev_test.pdb"
+  "vdev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

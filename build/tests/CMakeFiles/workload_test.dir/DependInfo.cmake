@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/paper_claims_test.cc" "tests/CMakeFiles/workload_test.dir/workload/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/paper_claims_test.cc.o.d"
+  "/root/repo/tests/workload/ports_test.cc" "tests/CMakeFiles/workload_test.dir/workload/ports_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/ports_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/kvmarm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kvmarm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvmx86/CMakeFiles/kvmarm_kvmx86.dir/DependInfo.cmake"
+  "/root/repo/build/src/baremetal/CMakeFiles/kvmarm_baremetal.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdev/CMakeFiles/kvmarm_vdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/kvmarm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/kvmarm_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/kvmarm_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/kvmarm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kvmarm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kvmarm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

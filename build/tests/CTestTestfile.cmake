@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/arm_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/core_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/core_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/x86_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/kvmx86_test[1]_include.cmake")
+include("/root/repo/build/tests/vdev_test[1]_include.cmake")
+include("/root/repo/build/tests/baremetal_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
