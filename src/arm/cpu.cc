@@ -53,7 +53,7 @@ ArmCpu::trapToHyp(const Hsr &hsr)
     hypTrappedMask_ = irqMasked_;
     hypReturnMode_ = mode_;
     hypReturnMask_ = irqMasked_;
-    mode_ = Mode::Hyp;
+    setMode(Mode::Hyp);
     regs_[GpReg::ElrHyp] = regs_[GpReg::Pc];
     // Charge the trap entry only after the mode change: interrupts are
     // not deliverable while in Hyp mode.
@@ -62,7 +62,7 @@ ArmCpu::trapToHyp(const Hsr &hsr)
     hypVectors_->hypTrap(*this, hsr);
 
     addCycles(armMachine_.cost().hypEret);
-    mode_ = hypReturnMode_;
+    setMode(hypReturnMode_);
     irqMasked_ = hypReturnMask_;
 
     hypTrappedMode_ = prev_trapped_mode;
@@ -76,13 +76,13 @@ ArmCpu::takePageFaultToKernel(Addr va, bool write, Access acc)
 {
     if (!osVectors_)
         panic("cpu%u: stage-1 fault at %#llx with no OS vectors", id_,
-              (unsigned long long)va);
+              static_cast<unsigned long long>(va));
     stats_.counter("fault.stage1").inc();
 
     Mode saved_mode = mode_;
     bool saved_mask = irqMasked_;
     bool user = saved_mode == Mode::Usr;
-    mode_ = Mode::Abt;
+    setMode(Mode::Abt);
     irqMasked_ = true;
     regs_[GpReg::SpsrAbt] = regs_[GpReg::Cpsr];
     regs_[GpReg::LrAbt] = regs_[GpReg::Pc];
@@ -93,7 +93,7 @@ ArmCpu::takePageFaultToKernel(Addr va, bool write, Access acc)
     bool handled = osVectors_->pageFault(*this, va, write, user);
 
     addCycles(armMachine_.cost().kernelEret);
-    mode_ = saved_mode;
+    setMode(saved_mode);
     irqMasked_ = saved_mask;
     (void)acc;
     return handled;
@@ -114,7 +114,7 @@ ArmCpu::accessMem(Addr va, bool write, std::uint64_t value, unsigned len,
                                : armMachine_.bus().read(id_, tr.pa, len);
             if (!ba.ok) {
                 panic("cpu%u: external abort at PA %#llx (va %#llx)", id_,
-                      (unsigned long long)tr.pa, (unsigned long long)va);
+                      static_cast<unsigned long long>(tr.pa), static_cast<unsigned long long>(va));
             }
             addCycles(ba.latency);
             return ba.value;
@@ -138,11 +138,11 @@ ArmCpu::accessMem(Addr va, bool write, std::uint64_t value, unsigned len,
         }
         if (!takePageFaultToKernel(va, write, acc)) {
             panic("cpu%u: unhandled stage-1 %s fault at va %#llx (%s)", id_,
-                  faultTypeName(tr.fault), (unsigned long long)va,
+                  faultTypeName(tr.fault), static_cast<unsigned long long>(va),
                   modeName(mode_));
         }
     }
-    panic("cpu%u: fault livelock at va %#llx", id_, (unsigned long long)va);
+    panic("cpu%u: fault livelock at va %#llx", id_, static_cast<unsigned long long>(va));
 }
 
 std::uint64_t
@@ -180,7 +180,7 @@ ArmCpu::svc(std::uint32_t num)
 
     Mode saved = mode_;
     bool saved_mask = irqMasked_;
-    mode_ = Mode::Svc;
+    setMode(Mode::Svc);
     irqMasked_ = true;
     regs_[GpReg::SpsrSvc] = regs_[GpReg::Cpsr];
     regs_[GpReg::LrSvc] = regs_[GpReg::Pc];
@@ -189,7 +189,7 @@ ArmCpu::svc(std::uint32_t num)
     osVectors_->svc(*this, num);
 
     addCycles(armMachine_.cost().kernelEret);
-    mode_ = saved;
+    setMode(saved);
     irqMasked_ = saved_mask;
 }
 
@@ -410,6 +410,7 @@ ArmCpu::writeVirtTimer(const TimerRegs &regs)
 void
 ArmCpu::writeCntvoff(std::uint64_t off)
 {
+    KVMARM_CHECK(hypAccess(id_, mode_, "cntvoff"));
     if (mode_ != Mode::Hyp)
         panic("cpu%u: CNTVOFF write outside Hyp mode", id_);
     addCycles(armMachine_.cost().ctrlRegAccess);
@@ -541,7 +542,7 @@ ArmCpu::takeIrqToKernel()
     ++interruptsTaken_;
     Mode saved = mode_;
     bool saved_mask = irqMasked_;
-    mode_ = Mode::Irq;
+    setMode(Mode::Irq);
     irqMasked_ = true;
     regs_[GpReg::SpsrIrq] = regs_[GpReg::Cpsr];
     regs_[GpReg::LrIrq] = regs_[GpReg::Pc];
@@ -550,7 +551,7 @@ ArmCpu::takeIrqToKernel()
     osVectors_->irq(*this);
 
     addCycles(armMachine_.cost().kernelEret);
-    mode_ = saved;
+    setMode(saved);
     irqMasked_ = saved_mask;
 }
 

@@ -18,6 +18,7 @@
 
 #include "arm/hsr.hh"
 #include "arm/hyp_state.hh"
+#include "check/invariants.hh"
 #include "arm/mmu.hh"
 #include "arm/modes.hh"
 #include "arm/registers.hh"
@@ -48,13 +49,30 @@ class ArmCpu : public CpuBase
     Mode mode() const { return mode_; }
     /** Set the current mode; legal only for PL1/PL2 software models and
      *  the world switch. */
-    void setMode(Mode m) { mode_ = m; }
+    void
+    setMode(Mode m)
+    {
+        KVMARM_CHECK(modeChange(&armMachine_, id_, mode_, m, hyp_.hcr.vm));
+        mode_ = m;
+    }
 
     RegisterFile &regs() { return regs_; }
     const RegisterFile &regs() const { return regs_; }
 
+    /** Raw Hyp configuration state: hardware consulting (or tests
+     *  arranging) its own state. Software models must use hypSys(). */
     HypState &hyp() { return hyp_; }
     const HypState &hyp() const { return hyp_; }
+
+    /** Hyp configuration state accessed *as software* (an MRC/MCR to the
+     *  virtualization-extension registers): raises the privilege
+     *  invariant hook, which flags any access outside Hyp mode. */
+    HypState &
+    hypSys(const char *reg)
+    {
+        KVMARM_CHECK(hypAccess(id_, mode_, reg));
+        return hyp_;
+    }
 
     Mmu &mmu() { return mmu_; }
 

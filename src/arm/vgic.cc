@@ -1,6 +1,7 @@
 #include "arm/vgic.hh"
 
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 #include "sim/logging.hh"
 
 namespace kvmarm::arm {
@@ -72,6 +73,7 @@ VgicHypInterface::checkMaintenance(CpuId cpu)
     const VgicBank &b = banks_.at(cpu);
     if (b.en && b.uie &&
         emptyLrMask(cpu) == (1u << kNumListRegs) - 1) {
+        KVMARM_CHECK(maintenanceIrq(cpu, b));
         dist_.raisePpi(cpu, kMaintenancePpi);
     }
 }
@@ -136,7 +138,9 @@ VgicHypInterface::write(CpuId cpu, Addr offset, std::uint64_t value,
         return;
       default:
         if (offset >= gich::LR0 && offset < gich::LR0 + 4 * kNumListRegs) {
-            b.lr[(offset - gich::LR0) / 4] = ListReg::unpack(v);
+            unsigned idx = (offset - gich::LR0) / 4;
+            b.lr[idx] = ListReg::unpack(v);
+            KVMARM_CHECK(vgicLrWrite(cpu, idx, b));
             return;
         }
         // VTR/MISR/EISR/ELRSR and alias words are read-only; ignore.

@@ -152,7 +152,7 @@ BareMetalHv::handleStage2Fault(ArmCpu &cpu, const Hsr &hsr)
     }
     panic("baremetal-hv: unexpected Stage-2 fault at %#llx (static "
           "allocation maps all guest RAM up front)",
-          (unsigned long long)ipa);
+          static_cast<unsigned long long>(ipa));
 }
 
 void

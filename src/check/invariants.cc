@@ -1,0 +1,212 @@
+#include "check/invariants.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "check/rules.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm::check {
+
+namespace detail {
+bool gActive = false;
+
+/** Construct the engine at startup so the KVMARM_CHECK environment
+ *  variable takes effect before any hook site consults gActive. */
+#if KVMARM_INVARIANTS_ENABLED
+const bool gEagerInit = (InvariantEngine::instance(), true);
+#endif
+} // namespace detail
+
+const char *
+switchDirName(SwitchDir d)
+{
+    return d == SwitchDir::ToVm ? "toVm" : "toHost";
+}
+
+const char *
+stateClassName(StateClass c)
+{
+    switch (c) {
+      case StateClass::Gp: return "gp";
+      case StateClass::Ctrl: return "ctrl";
+      case StateClass::Fpu: return "fpu";
+      case StateClass::Vgic: return "vgic";
+      case StateClass::Timer: return "timer";
+    }
+    return "?";
+}
+
+const char *
+xferName(Xfer k)
+{
+    switch (k) {
+      case Xfer::SaveHost: return "save-host";
+      case Xfer::RestoreGuest: return "restore-guest";
+      case Xfer::SaveGuest: return "save-guest";
+      case Xfer::RestoreHost: return "restore-host";
+    }
+    return "?";
+}
+
+InvariantEngine::InvariantEngine()
+{
+    for (auto &rule : builtinRules())
+        rules_.push_back(std::move(rule));
+
+    if (const char *env = std::getenv("KVMARM_CHECK")) {
+        if (!std::strcmp(env, "log"))
+            setMode(CheckMode::Log);
+        else if (!std::strcmp(env, "enforce"))
+            setMode(CheckMode::Enforce);
+        else if (std::strcmp(env, "off"))
+            warn("KVMARM_CHECK=%s not recognised (off|log|enforce)", env);
+    }
+}
+
+InvariantEngine &
+InvariantEngine::instance()
+{
+    static InvariantEngine engine;
+    return engine;
+}
+
+void
+InvariantEngine::setMode(CheckMode m)
+{
+    mode_ = m;
+    detail::gActive = mode_ != CheckMode::Off && !rules_.empty();
+}
+
+void
+InvariantEngine::addRule(std::unique_ptr<InvariantRule> rule)
+{
+    rules_.push_back(std::move(rule));
+    setMode(mode_); // refresh the fast-path gate
+}
+
+void
+InvariantEngine::reset()
+{
+    violations_.clear();
+    for (auto &rule : rules_)
+        rule->reset();
+}
+
+std::size_t
+InvariantEngine::violationCount(const std::string &rule) const
+{
+    std::size_t n = 0;
+    for (const Violation &v : violations_)
+        n += v.rule == rule;
+    return n;
+}
+
+void
+InvariantEngine::report(const InvariantRule &rule, std::string detail)
+{
+    violations_.push_back(Violation{rule.name(), std::move(detail)});
+    const Violation &v = violations_.back();
+    if (mode_ == CheckMode::Enforce) {
+        fatal("invariant violation [%s]: %s", v.rule.c_str(),
+              v.detail.c_str());
+    }
+    warn("invariant violation [%s]: %s", v.rule.c_str(), v.detail.c_str());
+}
+
+void
+InvariantEngine::hypAccess(CpuId cpu, arm::Mode mode, const char *reg)
+{
+    HypAccessEvent ev{cpu, mode, reg};
+    for (auto &rule : rules_)
+        rule->onHypAccess(*this, ev);
+}
+
+void
+InvariantEngine::modeChange(const void *domain, CpuId cpu, arm::Mode from,
+                            arm::Mode to, bool stage2_on)
+{
+    ModeChangeEvent ev{domain, cpu, from, to, stage2_on};
+    for (auto &rule : rules_)
+        rule->onModeChange(*this, ev);
+}
+
+void
+InvariantEngine::worldSwitchBegin(const void *domain, CpuId cpu,
+                                  SwitchDir dir)
+{
+    WorldSwitchEvent ev{domain, cpu, dir, true, nullptr};
+    for (auto &rule : rules_)
+        rule->onWorldSwitch(*this, ev);
+}
+
+void
+InvariantEngine::worldSwitchEnd(const void *domain, CpuId cpu, SwitchDir dir,
+                                const arm::HypState &hyp)
+{
+    WorldSwitchEvent ev{domain, cpu, dir, false, &hyp};
+    for (auto &rule : rules_)
+        rule->onWorldSwitch(*this, ev);
+}
+
+void
+InvariantEngine::stateTransfer(const void *domain, CpuId cpu, StateClass cls,
+                               Xfer kind)
+{
+    StateTransferEvent ev{domain, cpu, cls, kind};
+    for (auto &rule : rules_)
+        rule->onStateTransfer(*this, ev);
+}
+
+void
+InvariantEngine::stage2Map(const void *domain, std::uint16_t vmid, Addr ipa,
+                           Addr pa, bool device)
+{
+    Stage2Event ev{domain, vmid, ipa, pa, device, true};
+    for (auto &rule : rules_)
+        rule->onStage2Update(*this, ev);
+}
+
+void
+InvariantEngine::stage2Unmap(const void *domain, std::uint16_t vmid,
+                             Addr ipa, Addr pa)
+{
+    Stage2Event ev{domain, vmid, ipa, pa, false, false};
+    for (auto &rule : rules_)
+        rule->onStage2Update(*this, ev);
+}
+
+void
+InvariantEngine::protectPage(const void *domain, Addr pa, const char *tag)
+{
+    PageGuardEvent ev{domain, pa, tag, true};
+    for (auto &rule : rules_)
+        rule->onPageGuard(*this, ev);
+}
+
+void
+InvariantEngine::unprotectPage(const void *domain, Addr pa)
+{
+    PageGuardEvent ev{domain, pa, "", false};
+    for (auto &rule : rules_)
+        rule->onPageGuard(*this, ev);
+}
+
+void
+InvariantEngine::vgicLrWrite(CpuId cpu, unsigned idx,
+                             const arm::VgicBank &bank)
+{
+    VgicLrEvent ev{cpu, idx, &bank};
+    for (auto &rule : rules_)
+        rule->onVgicLr(*this, ev);
+}
+
+void
+InvariantEngine::maintenanceIrq(CpuId cpu, const arm::VgicBank &bank)
+{
+    MaintenanceEvent ev{cpu, &bank};
+    for (auto &rule : rules_)
+        rule->onMaintenance(*this, ev);
+}
+
+} // namespace kvmarm::check

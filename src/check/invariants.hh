@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Split-mode invariant checker (paper §3): a pluggable rule engine that
+ * audits the architectural invariants KVM/ARM's correctness rests on while
+ * the simulation runs.
+ *
+ * The paper's split-mode design is only sound if (1) Hyp-only state is
+ * touched exclusively from Hyp mode (§3.2), (2) the world switch moves
+ * *all* of Table 1's state symmetrically, (3) Stage-2 translation isolates
+ * each VM's IPA space and the protected Hyp region (§3.3), (4) guest entry
+ * programs the full KVM/ARM trap configuration, and (5) the VGIC list
+ * registers stay consistent (§3.5). The simulator executes those paths;
+ * this engine *checks* them, so a silent save/restore asymmetry or a
+ * cross-VM Stage-2 mapping fails loudly instead of corrupting results.
+ *
+ * Instrumented code reports events through the KVMARM_CHECK() macro, which
+ * compiles to nothing when the build-time kill switch (CMake option
+ * KVMARM_INVARIANTS) is off and costs one branch on a global flag when the
+ * runtime mode is Off. No event ever charges simulated cycles: checking is
+ * invisible to the cost model.
+ *
+ * Runtime modes: Off (default), Log (record + warn), Enforce (record +
+ * throw FatalError). The KVMARM_CHECK environment variable ("off", "log",
+ * "enforce") selects the initial mode, letting CI run the entire test
+ * suite under enforcement without code changes.
+ */
+
+#ifndef KVMARM_CHECK_INVARIANTS_HH
+#define KVMARM_CHECK_INVARIANTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arm/hyp_state.hh"
+#include "arm/modes.hh"
+#include "sim/types.hh"
+
+#ifndef KVMARM_INVARIANTS_ENABLED
+#define KVMARM_INVARIANTS_ENABLED 1
+#endif
+
+namespace kvmarm::arm {
+struct VgicBank;
+} // namespace kvmarm::arm
+
+namespace kvmarm::check {
+
+/** Runtime checking mode. */
+enum class CheckMode
+{
+    Off,     //!< events are dropped at the hook site
+    Log,     //!< violations are recorded and warn()ed
+    Enforce, //!< violations are recorded and throw FatalError
+};
+
+/** Direction of a world switch. */
+enum class SwitchDir
+{
+    ToVm,
+    ToHost,
+};
+
+/** State groups of Table 1 moved by the world switch. */
+enum class StateClass
+{
+    Gp,    //!< general-purpose registers (all banked modes)
+    Ctrl,  //!< CP15 configuration registers
+    Fpu,   //!< VFP/NEON data + control registers
+    Vgic,  //!< VGIC control + list registers
+    Timer, //!< architected timer control registers
+};
+
+/** What a world-switch state transfer did. */
+enum class Xfer
+{
+    SaveHost,     //!< host copy parked (toVm step 1/4)
+    RestoreGuest, //!< guest copy loaded (toVm step 5/9)
+    SaveGuest,    //!< guest copy captured (toHost)
+    RestoreHost,  //!< host copy reloaded (toHost)
+};
+
+const char *switchDirName(SwitchDir d);
+const char *stateClassName(StateClass c);
+const char *xferName(Xfer k);
+
+/** One recorded invariant violation. */
+struct Violation
+{
+    std::string rule;   //!< name of the rule that fired
+    std::string detail; //!< human-readable diagnosis
+};
+
+/// @name Event payloads delivered to rules
+/// @{
+
+/** Software access to a Hyp-only configuration register. */
+struct HypAccessEvent
+{
+    CpuId cpu;
+    arm::Mode mode;  //!< CPU mode at the access
+    const char *reg; //!< register (group) name, e.g. "hcr", "httbr"
+};
+
+/** A CPU mode transition. */
+struct ModeChangeEvent
+{
+    const void *domain; //!< owning machine (disambiguates CPU ids)
+    CpuId cpu;
+    arm::Mode from;
+    arm::Mode to;
+    bool stage2On; //!< HCR.VM at the moment of the transition
+};
+
+/** World-switch entry/exit. @c hyp is only valid on end events. */
+struct WorldSwitchEvent
+{
+    const void *domain;
+    CpuId cpu;
+    SwitchDir dir;
+    bool begin;
+    const arm::HypState *hyp; //!< Hyp state snapshot (end events)
+};
+
+/** One Table 1 state group moved by the world switch. */
+struct StateTransferEvent
+{
+    const void *domain;
+    CpuId cpu;
+    StateClass cls;
+    Xfer kind;
+};
+
+/** A Stage-2 mapping installed or removed. */
+struct Stage2Event
+{
+    const void *domain; //!< owning host Mm (PA namespace)
+    std::uint16_t vmid;
+    Addr ipa;
+    Addr pa;
+    bool device; //!< device (MMIO passthrough) mapping
+    bool map;    //!< true = map, false = unmap
+};
+
+/** A physical page entering/leaving the protected (hypervisor) set. */
+struct PageGuardEvent
+{
+    const void *domain;
+    Addr pa;
+    const char *tag; //!< why it is protected, e.g. "hyp-table"
+    bool protect;
+};
+
+/** A VGIC list register was written. */
+struct VgicLrEvent
+{
+    CpuId cpu;
+    unsigned idx;                  //!< list register index
+    const arm::VgicBank *bank;     //!< full per-CPU VGIC bank
+};
+
+/** The VGIC maintenance interrupt is about to be raised. */
+struct MaintenanceEvent
+{
+    CpuId cpu;
+    const arm::VgicBank *bank;
+};
+/// @}
+
+class InvariantEngine;
+
+/**
+ * One pluggable invariant rule. Override the hooks the rule cares about;
+ * report violations through InvariantEngine::report(). Rules keep their
+ * own shadow state and must clear it in reset().
+ */
+class InvariantRule
+{
+  public:
+    virtual ~InvariantRule() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Drop all shadow state (engine reset between test cases). */
+    virtual void reset() {}
+
+    virtual void onHypAccess(InvariantEngine &, const HypAccessEvent &) {}
+    virtual void onModeChange(InvariantEngine &, const ModeChangeEvent &) {}
+    virtual void onWorldSwitch(InvariantEngine &, const WorldSwitchEvent &) {}
+    virtual void
+    onStateTransfer(InvariantEngine &, const StateTransferEvent &)
+    {
+    }
+    virtual void onStage2Update(InvariantEngine &, const Stage2Event &) {}
+    virtual void onPageGuard(InvariantEngine &, const PageGuardEvent &) {}
+    virtual void onVgicLr(InvariantEngine &, const VgicLrEvent &) {}
+    virtual void onMaintenance(InvariantEngine &, const MaintenanceEvent &) {}
+};
+
+namespace detail {
+/** Fast-path gate consulted by KVMARM_CHECK before touching the engine. */
+extern bool gActive;
+} // namespace detail
+
+/** True when the engine wants events (mode != Off). */
+inline bool
+engineActive()
+{
+    return detail::gActive;
+}
+
+/**
+ * The process-wide invariant engine. Instrumented code funnels events in
+ * through the entry points below; the engine fans them out to every
+ * registered rule.
+ */
+class InvariantEngine
+{
+  public:
+    /** The engine singleton (created on first use; initial mode comes
+     *  from the KVMARM_CHECK environment variable, default Off). */
+    static InvariantEngine &instance();
+
+    CheckMode mode() const { return mode_; }
+    void setMode(CheckMode m);
+
+    /** Register an additional rule (the five built-in rules are installed
+     *  by the constructor). */
+    void addRule(std::unique_ptr<InvariantRule> rule);
+
+    /** Clear recorded violations and every rule's shadow state. */
+    void reset();
+
+    /// @name Results
+    /// @{
+    const std::vector<Violation> &violations() const { return violations_; }
+    std::size_t violationCount() const { return violations_.size(); }
+    /** Number of violations attributed to @p rule. */
+    std::size_t violationCount(const std::string &rule) const;
+    /// @}
+
+    /** Record a violation (called by rules). Log mode warns; Enforce mode
+     *  throws FatalError after recording. */
+    void report(const InvariantRule &rule, std::string detail);
+
+    /// @name Event entry points (hook sites call these via KVMARM_CHECK)
+    /// @{
+    void hypAccess(CpuId cpu, arm::Mode mode, const char *reg);
+    void modeChange(const void *domain, CpuId cpu, arm::Mode from,
+                    arm::Mode to, bool stage2_on);
+    void worldSwitchBegin(const void *domain, CpuId cpu, SwitchDir dir);
+    void worldSwitchEnd(const void *domain, CpuId cpu, SwitchDir dir,
+                        const arm::HypState &hyp);
+    void stateTransfer(const void *domain, CpuId cpu, StateClass cls,
+                       Xfer kind);
+    void stage2Map(const void *domain, std::uint16_t vmid, Addr ipa, Addr pa,
+                   bool device);
+    void stage2Unmap(const void *domain, std::uint16_t vmid, Addr ipa,
+                     Addr pa);
+    void protectPage(const void *domain, Addr pa, const char *tag);
+    void unprotectPage(const void *domain, Addr pa);
+    void vgicLrWrite(CpuId cpu, unsigned idx, const arm::VgicBank &bank);
+    void maintenanceIrq(CpuId cpu, const arm::VgicBank &bank);
+    /// @}
+
+  private:
+    InvariantEngine();
+
+    CheckMode mode_ = CheckMode::Off;
+    std::vector<std::unique_ptr<InvariantRule>> rules_;
+    std::vector<Violation> violations_;
+};
+
+/** Shorthand for the singleton. */
+inline InvariantEngine &
+engine()
+{
+    return InvariantEngine::instance();
+}
+
+/** RAII mode switch for tests: sets the mode, resets the engine, and
+ *  restores Off + resets again on destruction. */
+class ScopedCheckMode
+{
+  public:
+    explicit ScopedCheckMode(CheckMode m)
+    {
+        engine().reset();
+        engine().setMode(m);
+    }
+    ~ScopedCheckMode()
+    {
+        engine().setMode(CheckMode::Off);
+        engine().reset();
+    }
+    ScopedCheckMode(const ScopedCheckMode &) = delete;
+    ScopedCheckMode &operator=(const ScopedCheckMode &) = delete;
+};
+
+} // namespace kvmarm::check
+
+/**
+ * Hook macro used at instrumentation sites: KVMARM_CHECK(hypAccess(...)).
+ * Arguments are not evaluated unless the engine is active; the whole
+ * statement compiles away when KVMARM_INVARIANTS is off.
+ */
+#if KVMARM_INVARIANTS_ENABLED
+#define KVMARM_CHECK(call)                                                  \
+    do {                                                                    \
+        if (::kvmarm::check::engineActive())                                \
+            ::kvmarm::check::engine().call;                                 \
+    } while (0)
+#else
+#define KVMARM_CHECK(call)                                                  \
+    do {                                                                    \
+    } while (0)
+#endif
+
+#endif // KVMARM_CHECK_INVARIANTS_HH

@@ -85,7 +85,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
         // and decode it in software (the out-of-tree decoder, paper §4).
         if (!cfg.mmioDecodeFallback) {
             panic("highvisor: MMIO at %#llx without syndrome and decode "
-                  "support disabled", (unsigned long long)ipa);
+                  "support disabled", static_cast<unsigned long long>(ipa));
         }
         vcpu.stats.counter("mmio.decoded").inc();
         cpu.compute(cfg.mmioDecodeCost);
@@ -158,7 +158,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
     auto &handler = vcpu.vm().userMmioHandler();
     if (!handler) {
         warn("highvisor: MMIO exit at %#llx with no user-space emulator",
-             (unsigned long long)ipa);
+             static_cast<unsigned long long>(ipa));
         cpu.completeMmio(0);
         return;
     }
@@ -166,7 +166,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
                                [&] { handler(cpu, vcpu, exit); });
     if (!exit.handled)
         warn("qemu: unhandled MMIO %s at %#llx",
-             exit.isWrite ? "write" : "read", (unsigned long long)ipa);
+             exit.isWrite ? "write" : "read", static_cast<unsigned long long>(ipa));
     cpu.completeMmio(exit.data);
 }
 

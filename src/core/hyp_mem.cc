@@ -2,6 +2,7 @@
 
 #include "arm/cpu.hh"
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 
 namespace kvmarm::core {
 
@@ -15,8 +16,10 @@ HypMem::HypMem(arm::ArmMachine &machine, host::Mm &mm)
 
 HypMem::~HypMem()
 {
-    for (Addr pa : pages_)
+    for (Addr pa : pages_) {
+        KVMARM_CHECK(unprotectPage(&mm_, pa));
         mm_.putPage(pa);
+    }
 }
 
 void
@@ -36,6 +39,7 @@ HypMem::build()
         [this] {
             Addr pa = mm_.allocPage();
             pages_.push_back(pa);
+            KVMARM_CHECK(protectPage(&mm_, pa, "hyp-table"));
             return pa;
         });
 
@@ -65,8 +69,9 @@ HypMem::build()
 void
 HypMem::enableOnCpu(arm::ArmCpu &cpu)
 {
-    cpu.hyp().httbr = root_;
-    cpu.hyp().hsctlrM = true;
+    arm::HypState &h = cpu.hypSys("httbr");
+    h.httbr = root_;
+    h.hsctlrM = true;
 }
 
 } // namespace kvmarm::core

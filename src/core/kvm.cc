@@ -71,7 +71,10 @@ Kvm::initCpu(arm::ArmCpu &cpu)
     hypMem_.build();
     if (!host_.installHypVectors(cpu, &lowvisor_))
         return false;
-    hypMem_.enableOnCpu(cpu);
+    // Enable the Hyp MMU from Hyp mode itself: HTTBR/HSCTLR are Hyp-only
+    // registers, so per-CPU enablement is a hypercall into the lowvisor
+    // (the same protocol the boot stub uses, paper §4).
+    cpu.hvc(hvc::kInitCpu);
     registerHostIrqHandlers();
     enabled_ = true;
     return true;

@@ -2,6 +2,7 @@
 
 #include "arm/cpu.hh"
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 #include "core/kvm.hh"
 #include "sim/logging.hh"
 
@@ -38,7 +39,7 @@ Lowvisor::hypTrap(ArmCpu &cpu, const Hsr &hsr)
         vcpu->stats.counter("exit.fp").inc();
         ws_.switchFpuToVm(cpu, *vcpu);
         vcpu->fpuLoaded = true;
-        cpu.hyp().trapFpu = false;
+        cpu.hypSys("hcptr").trapFpu = false;
         return;
     }
     if (hsr.ec == ExcClass::Hvc && hsr.iss == hvc::kStopVcpu) {
@@ -114,6 +115,12 @@ Lowvisor::hostHvc(ArmCpu &cpu, const Hsr &hsr)
     }
     if (hsr.iss == hvc::kTrapOnly)
         return;
+    if (hsr.iss == hvc::kInitCpu) {
+        // Per-CPU Hyp init runs in Hyp mode: program HTTBR and enable the
+        // Hyp-mode MMU for this CPU (paper §4).
+        kvm_.hypMem().enableOnCpu(cpu);
+        return;
+    }
     panic("lowvisor: unknown host hypercall %#x", hsr.iss);
 }
 

@@ -75,6 +75,7 @@ inline constexpr std::uint32_t kRunVcpu = 0x4B000001;    //!< host -> enter VM
 inline constexpr std::uint32_t kStopVcpu = 0x4B000002;   //!< guest run ends
 inline constexpr std::uint32_t kTrapOnly = 0x4B000003;   //!< Table 3 "Trap"
 inline constexpr std::uint32_t kTestHypercall = 0x4B000004; //!< "Hypercall"
+inline constexpr std::uint32_t kInitCpu = 0x4B000005; //!< per-CPU Hyp init
 inline constexpr std::uint32_t kPsciOff = 0x84000008;    //!< PSCI SYSTEM_OFF
 } // namespace hvc
 

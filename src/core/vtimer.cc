@@ -2,6 +2,7 @@
 
 #include "arm/cpu.hh"
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 #include "core/kvm.hh"
 #include "sim/logging.hh"
 
@@ -30,7 +31,7 @@ VTimerEmul::onWorldSwitchIn(ArmCpu &cpu, VCpu &vcpu)
 {
     if (!kvm_.config().useVtimers) {
         // Guests get no direct timer access at all; everything traps.
-        cpu.hyp().pl1PhysTimerAccess = false;
+        cpu.hypSys("cnthctl").pl1PhysTimerAccess = false;
         return;
     }
 
@@ -39,14 +40,17 @@ VTimerEmul::onWorldSwitchIn(ArmCpu &cpu, VCpu &vcpu)
     // timer to the guest; physical timer access stays hypervisor-only.
     cpu.writeCntvoff(vcpu.cntvoff);
     kvm_.machine().timer().setVirt(cpu.id(), vcpu.vtimerShadow);
+    KVMARM_CHECK(stateTransfer(&kvm_.machine(), cpu.id(),
+                               check::StateClass::Timer,
+                               check::Xfer::RestoreGuest));
     cpu.compute(2 * cpu.machine().cost().ctrlRegAccess);
-    cpu.hyp().pl1PhysTimerAccess = false;
+    cpu.hypSys("cnthctl").pl1PhysTimerAccess = false;
 }
 
 void
 VTimerEmul::onWorldSwitchOut(ArmCpu &cpu, VCpu &vcpu)
 {
-    cpu.hyp().pl1PhysTimerAccess = true;
+    cpu.hypSys("cnthctl").pl1PhysTimerAccess = true;
     if (!kvm_.config().useVtimers)
         return;
 
@@ -54,6 +58,9 @@ VTimerEmul::onWorldSwitchOut(ArmCpu &cpu, VCpu &vcpu)
     // Table 1) and disable the hardware instance for the host.
     vcpu.vtimerShadow = kvm_.machine().timer().virt(cpu.id());
     kvm_.machine().timer().setVirt(cpu.id(), TimerRegs{});
+    KVMARM_CHECK(stateTransfer(&kvm_.machine(), cpu.id(),
+                               check::StateClass::Timer,
+                               check::Xfer::SaveGuest));
     cpu.compute(2 * cpu.machine().cost().ctrlRegAccess);
 
     // Multiplexing (paper §3.6): if the guest timer is unexpired, program

@@ -2,6 +2,7 @@
 
 #include "arm/cpu.hh"
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 #include "core/kvm.hh"
 #include "sim/logging.hh"
 
@@ -26,8 +27,14 @@ WorldSwitch::switchFpuToVm(ArmCpu &cpu, VCpu &vcpu)
     FpuPark &park = hostFpu_.at(cpu.id());
     park.vfp = cpu.regs().vfp;
     park.vfpCtrl = cpu.regs().vfpCtrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Fpu,
+                               check::Xfer::SaveHost));
     cpu.regs().vfp = vcpu.regs.vfp;
     cpu.regs().vfpCtrl = vcpu.regs.vfpCtrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Fpu,
+                               check::Xfer::RestoreGuest));
     cpu.compute(2 * (arm::kNumVfpDataRegs * cm.vfpRegAccess +
                      arm::kNumVfpCtrlRegs * cm.ctrlRegAccess));
 }
@@ -39,8 +46,14 @@ WorldSwitch::switchFpuToHost(ArmCpu &cpu, VCpu &vcpu)
     FpuPark &park = hostFpu_.at(cpu.id());
     vcpu.regs.vfp = cpu.regs().vfp;
     vcpu.regs.vfpCtrl = cpu.regs().vfpCtrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Fpu,
+                               check::Xfer::SaveGuest));
     cpu.regs().vfp = park.vfp;
     cpu.regs().vfpCtrl = park.vfpCtrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Fpu,
+                               check::Xfer::RestoreHost));
     cpu.compute(2 * (arm::kNumVfpDataRegs * cm.vfpRegAccess +
                      arm::kNumVfpCtrlRegs * cm.ctrlRegAccess));
 }
@@ -66,6 +79,9 @@ WorldSwitch::restoreVgic(ArmCpu &cpu, VCpu &vcpu)
         cpu.memWrite(gich + arm::gich::HCR, hcr);
         cpu.memWrite(gich + arm::gich::VMCR, vmcr);
         vcpu.vgicHwLive = false;
+        KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                                   check::StateClass::Vgic,
+                                   check::Xfer::RestoreGuest));
         return;
     }
 
@@ -85,6 +101,9 @@ WorldSwitch::restoreVgic(ArmCpu &cpu, VCpu &vcpu)
     for (unsigned i = 0; i < arm::kNumListRegs; ++i)
         cpu.memWrite(gich + arm::gich::LR0 + 4 * i, sh.lr[i].pack());
     vcpu.vgicHwLive = true;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Vgic,
+                               check::Xfer::RestoreGuest));
 }
 
 void
@@ -102,6 +121,9 @@ WorldSwitch::saveVgic(ArmCpu &cpu, VCpu &vcpu)
         sh.vmEnabled = vmcr & 1;
         sh.vmPmr = static_cast<std::uint8_t>(vmcr >> 24);
         cpu.memWrite(gich + arm::gich::HCR, 0);
+        KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                                   check::StateClass::Vgic,
+                                   check::Xfer::SaveGuest));
         return;
     }
 
@@ -125,6 +147,9 @@ WorldSwitch::saveVgic(ArmCpu &cpu, VCpu &vcpu)
     // Disable the virtual interface while the host runs.
     cpu.memWrite(gich + arm::gich::HCR, 0);
     vcpu.vgicHwLive = false;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Vgic,
+                               check::Xfer::SaveGuest));
 }
 
 void
@@ -133,6 +158,8 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     const auto &cm = cpu.machine().cost();
     const KvmConfig &cfg = kvm_.config();
     HostContext &host = hostCtx_.at(cpu.id());
+    KVMARM_CHECK(worldSwitchBegin(&cpu.machine(), cpu.id(),
+                                  check::SwitchDir::ToVm));
 
     // Entry bookkeeping, including the atomic operations the mainline
     // world switch performs (the ~300-cycle optimization opportunity of
@@ -142,6 +169,9 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     // (1) Store all host GP registers on the Hyp stack.
     host.regs.gp = cpu.regs().gp;
     host.valid = true;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Gp,
+                               check::Xfer::SaveHost));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
 
     // (2) Configure the VGIC for the VM.
@@ -157,16 +187,22 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     //     stack. Hyp mode has its own configuration registers, so this
     //     does not disturb the executing lowvisor (paper §3.2).
     host.regs.ctrl = cpu.regs().ctrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Ctrl,
+                               check::Xfer::SaveHost));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
 
     // (5) Load the VM's configuration registers — including (7) the
     //     VM-specific shadow ID registers (MIDR/MPIDR slots).
     cpu.regs().ctrl = vcpu.regs.ctrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Ctrl,
+                               check::Xfer::RestoreGuest));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
 
     // (6) Configure Hyp mode to trap FP (lazily), interrupts, WFI/WFE,
     //     SMC, sensitive configuration registers and debug accesses.
-    arm::HypState &h = cpu.hyp();
+    arm::HypState &h = cpu.hypSys("hcr");
     h.hcr.imo = true;
     h.hcr.fmo = true;
     h.hcr.twi = true;
@@ -198,6 +234,9 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
 
     // (9) Restore all guest GP registers.
     cpu.regs().gp = vcpu.regs.gp;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Gp,
+                               check::Xfer::RestoreGuest));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
 
     // (10) Trap into either user or kernel mode: performed by the ERET at
@@ -205,6 +244,8 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     cpu.setOsVectors(vcpu.guestOs);
     cpu.setHypReturn(vcpu.guestMode, vcpu.guestIrqMasked);
     vcpu.stats.counter("worldswitch.in").inc();
+    KVMARM_CHECK(worldSwitchEnd(&cpu.machine(), cpu.id(),
+                                check::SwitchDir::ToVm, cpu.hyp()));
 }
 
 void
@@ -215,6 +256,8 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
     HostContext &host = hostCtx_.at(cpu.id());
     if (!host.valid)
         panic("WorldSwitch::toHost with no saved host context");
+    KVMARM_CHECK(worldSwitchBegin(&cpu.machine(), cpu.id(),
+                                  check::SwitchDir::ToHost));
 
     // Capture the guest's interrupted mode/mask (SPSR_hyp).
     vcpu.guestMode = cpu.hypTrappedMode();
@@ -223,10 +266,13 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 
     // (1) Store all VM GP registers.
     vcpu.regs.gp = cpu.regs().gp;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Gp,
+                               check::Xfer::SaveGuest));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
 
     // (2) Disable Stage-2 translation.
-    arm::HypState &h = cpu.hyp();
+    arm::HypState &h = cpu.hypSys("hcr");
     h.hcr.vm = false;
     cpu.compute(cm.stage2Serialize);
 
@@ -251,10 +297,16 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 
     // (4) Save all VM-specific configuration registers.
     vcpu.regs.ctrl = cpu.regs().ctrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Ctrl,
+                               check::Xfer::SaveGuest));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
 
     // (5) Load the host's configuration registers onto the hardware.
     cpu.regs().ctrl = host.regs.ctrl;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Ctrl,
+                               check::Xfer::RestoreHost));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
 
     // (6) Configure the timers for the host.
@@ -268,12 +320,17 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 
     // (8) Restore all host GP registers.
     cpu.regs().gp = host.regs.gp;
+    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+                               check::StateClass::Gp,
+                               check::Xfer::RestoreHost));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
 
     // (9) Trap into kernel mode.
     cpu.setOsVectors(&kvm_.host());
     cpu.setHypReturn(Mode::Svc, false);
     vcpu.stats.counter("worldswitch.out").inc();
+    KVMARM_CHECK(worldSwitchEnd(&cpu.machine(), cpu.id(),
+                                check::SwitchDir::ToHost, cpu.hyp()));
 }
 
 } // namespace kvmarm::core

@@ -157,7 +157,7 @@ HostKernel::pageFault(ArmCpu &cpu, Addr va, bool write, bool user)
 {
     (void)cpu;
     warn("host kernel: unexpected stage-1 fault va=%#llx write=%d user=%d",
-         (unsigned long long)va, write, user);
+         static_cast<unsigned long long>(va), write, user);
     return false;
 }
 

@@ -32,7 +32,7 @@ Mm::getPage(Addr pa)
 {
     auto it = refcounts_.find(pageAlignDown(pa));
     if (it == refcounts_.end())
-        panic("host::Mm::getPage on free page %#llx", (unsigned long long)pa);
+        panic("host::Mm::getPage on free page %#llx", static_cast<unsigned long long>(pa));
     ++it->second;
 }
 
@@ -42,7 +42,7 @@ Mm::putPage(Addr pa)
     pa = pageAlignDown(pa);
     auto it = refcounts_.find(pa);
     if (it == refcounts_.end())
-        panic("host::Mm::putPage on free page %#llx", (unsigned long long)pa);
+        panic("host::Mm::putPage on free page %#llx", static_cast<unsigned long long>(pa));
     if (--it->second == 0) {
         refcounts_.erase(it);
         freeList_.push_back(pa);

@@ -23,8 +23,8 @@ PhysMem::checkRange(Addr pa, Addr len) const
 {
     if (!contains(pa, static_cast<unsigned>(len)))
         panic("PhysMem: access [%#llx,+%llu) outside RAM [%#llx,+%llu)",
-              (unsigned long long)pa, (unsigned long long)len,
-              (unsigned long long)base_, (unsigned long long)size_);
+              static_cast<unsigned long long>(pa), static_cast<unsigned long long>(len),
+              static_cast<unsigned long long>(base_), static_cast<unsigned long long>(size_));
 }
 
 PhysMem::Page &
@@ -101,7 +101,7 @@ PhysMem::zeroPage(Addr pa)
 {
     checkRange(pa, kPageSize);
     if (!isPageAligned(pa))
-        panic("PhysMem::zeroPage: unaligned %#llx", (unsigned long long)pa);
+        panic("PhysMem::zeroPage: unaligned %#llx", static_cast<unsigned long long>(pa));
     pageFor(pa).fill(0);
 }
 

@@ -37,7 +37,7 @@ MachineBase::run()
                 std::fprintf(stderr,
                              "  cpu%u: now=%llu waiting=%d finished=%d "
                              "events=%zu\n",
-                             c->id(), (unsigned long long)c->now(),
+                             c->id(), static_cast<unsigned long long>(c->now()),
                              c->waiting(), c->fiberFinished(),
                              c->events().size());
             }

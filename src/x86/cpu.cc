@@ -69,7 +69,7 @@ X86Cpu::accessMem(Addr addr, bool write, std::uint64_t value, unsigned len)
                              : machine_.bus().read(id_, hpa, len);
         if (!ba.ok)
             panic("x86 cpu%u: guest access to bad hpa %#llx", id_,
-                  (unsigned long long)hpa);
+                  static_cast<unsigned long long>(hpa));
         addCycles(ba.latency);
         return ba.value;
     }
@@ -78,7 +78,7 @@ X86Cpu::accessMem(Addr addr, bool write, std::uint64_t value, unsigned len)
                          : machine_.bus().read(id_, addr, len);
     if (!ba.ok)
         panic("x86 cpu%u: access to unmapped pa %#llx", id_,
-              (unsigned long long)addr);
+              static_cast<unsigned long long>(addr));
     addCycles(ba.latency);
     return ba.value;
 }

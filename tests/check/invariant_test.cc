@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the split-mode invariant checker: each built-in rule is
+ * exercised with a deliberately injected violation (proving the rule
+ * fires), with the nearest legal behaviour (proving it stays quiet), and
+ * the full KVM/ARM stack is driven under Enforce mode to prove the real
+ * hypervisor paths are violation-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arm/machine.hh"
+#include "check/invariants.hh"
+#include "core/kvm.hh"
+#include "core/stage2_mmu.hh"
+#include "host/kernel.hh"
+#include "host/mm.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm {
+namespace {
+
+using arm::ArmCpu;
+using arm::ArmMachine;
+using arm::Mode;
+using check::CheckMode;
+using check::ScopedCheckMode;
+using check::StateClass;
+using check::SwitchDir;
+using check::Xfer;
+
+#if !KVMARM_INVARIANTS_ENABLED
+
+TEST(InvariantTest, HooksCompiledOut)
+{
+    GTEST_SKIP() << "built with -DKVMARM_INVARIANTS=OFF";
+}
+
+#else // KVMARM_INVARIANTS_ENABLED
+
+ArmMachine::Config
+smallMachine(unsigned cpus = 1)
+{
+    ArmMachine::Config mc;
+    mc.numCpus = cpus;
+    mc.ramSize = 64 * kMiB;
+    return mc;
+}
+
+/** A Hyp state programmed the way a correct toVm leaves it. */
+arm::HypState
+guestEntryHypState()
+{
+    arm::HypState h;
+    h.hcr.vm = true;
+    h.hcr.imo = true;
+    h.hcr.fmo = true;
+    h.hcr.twi = true;
+    h.hcr.twe = true;
+    h.hcr.tsc = true;
+    h.hcr.tac = true;
+    h.hcr.swio = true;
+    h.hcr.tidcp = true;
+    h.vttbr = 0x8000000 | (5ull << 48);
+    return h;
+}
+
+// ---------------------------------------------------------------- privilege
+
+TEST(PrivilegeRule, FlagsHypRegisterAccessOutsideHypMode)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    ArmCpu &cpu = machine.cpu(0); // boots in Svc mode
+
+    cpu.hypSys("hcr");
+    EXPECT_EQ(check::engine().violationCount("privilege"), 1u);
+
+    // The same access from Hyp mode is legal.
+    cpu.setMode(Mode::Hyp);
+    cpu.hypSys("hcr");
+    cpu.setMode(Mode::Svc);
+    EXPECT_EQ(check::engine().violationCount("privilege"), 1u);
+}
+
+TEST(PrivilegeRule, EnforceModeThrowsFatalError)
+{
+    ScopedCheckMode scoped(CheckMode::Enforce);
+    ArmMachine machine(smallMachine());
+    EXPECT_THROW(machine.cpu(0).hypSys("vttbr"), FatalError);
+}
+
+TEST(PrivilegeRule, OffModeRecordsNothing)
+{
+    ScopedCheckMode scoped(CheckMode::Off);
+    ArmMachine machine(smallMachine());
+    machine.cpu(0).hypSys("hcr");
+    EXPECT_EQ(check::engine().violationCount(), 0u);
+}
+
+// --------------------------------------------------------------- ws-pairing
+
+/** Drive the pairing ledger through one switch cycle at the event level. */
+class WsPairingTest : public ::testing::Test
+{
+  protected:
+    void
+    enterGuest(bool with_fpu = false)
+    {
+        auto &eng = check::engine();
+        eng.worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+        eng.stateTransfer(&dom, 0, StateClass::Gp, Xfer::SaveHost);
+        eng.stateTransfer(&dom, 0, StateClass::Ctrl, Xfer::SaveHost);
+        eng.stateTransfer(&dom, 0, StateClass::Gp, Xfer::RestoreGuest);
+        eng.stateTransfer(&dom, 0, StateClass::Ctrl, Xfer::RestoreGuest);
+        if (with_fpu) {
+            eng.stateTransfer(&dom, 0, StateClass::Fpu, Xfer::SaveHost);
+            eng.stateTransfer(&dom, 0, StateClass::Fpu, Xfer::RestoreGuest);
+        }
+        eng.worldSwitchEnd(&dom, 0, SwitchDir::ToVm, guestEntryHypState());
+    }
+
+    void
+    exitGuest(bool restore_ctrl, bool with_fpu = false)
+    {
+        auto &eng = check::engine();
+        eng.worldSwitchBegin(&dom, 0, SwitchDir::ToHost);
+        eng.stateTransfer(&dom, 0, StateClass::Gp, Xfer::SaveGuest);
+        eng.stateTransfer(&dom, 0, StateClass::Ctrl, Xfer::SaveGuest);
+        if (with_fpu) {
+            eng.stateTransfer(&dom, 0, StateClass::Fpu, Xfer::SaveGuest);
+            eng.stateTransfer(&dom, 0, StateClass::Fpu, Xfer::RestoreHost);
+        }
+        eng.stateTransfer(&dom, 0, StateClass::Gp, Xfer::RestoreHost);
+        if (restore_ctrl)
+            eng.stateTransfer(&dom, 0, StateClass::Ctrl, Xfer::RestoreHost);
+        eng.worldSwitchEnd(&dom, 0, SwitchDir::ToHost, arm::HypState{});
+    }
+
+    int dom = 0; //!< stand-in domain token
+};
+
+TEST_F(WsPairingTest, CompleteSwitchCycleIsClean)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    enterGuest();
+    exitGuest(true);
+    EXPECT_EQ(check::engine().violationCount("ws-pairing"), 0u);
+}
+
+TEST_F(WsPairingTest, FlagsSkippedHostRestore)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    enterGuest();
+    exitGuest(false); // ctrl registers saved in toVm but never restored
+    EXPECT_EQ(check::engine().violationCount("ws-pairing"), 1u);
+}
+
+TEST_F(WsPairingTest, FlagsGuestEntryWithoutHostSave)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    auto &eng = check::engine();
+    eng.worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    // Only GP moved; ctrl registers were never saved or loaded.
+    eng.stateTransfer(&dom, 0, StateClass::Gp, Xfer::SaveHost);
+    eng.stateTransfer(&dom, 0, StateClass::Gp, Xfer::RestoreGuest);
+    eng.worldSwitchEnd(&dom, 0, SwitchDir::ToVm, guestEntryHypState());
+    EXPECT_EQ(check::engine().violationCount("ws-pairing"), 2u);
+}
+
+TEST_F(WsPairingTest, LazyFpuTransferJoinsTheOpenEpoch)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    enterGuest();
+    // Guest touches VFP mid-run: the deferred switch happens via the
+    // HCPTR trap while the epoch is open.
+    auto &eng = check::engine();
+    eng.stateTransfer(&dom, 0, StateClass::Fpu, Xfer::SaveHost);
+    eng.stateTransfer(&dom, 0, StateClass::Fpu, Xfer::RestoreGuest);
+    exitGuest(true, /*with_fpu=*/true);
+    EXPECT_EQ(check::engine().violationCount("ws-pairing"), 0u);
+}
+
+TEST_F(WsPairingTest, FlagsLazyFpuLoadedButNeverSavedBack)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    enterGuest(/*with_fpu=*/true);
+    exitGuest(true, /*with_fpu=*/false); // guest VFP state dropped
+    // Two asymmetries: host VFP saved but never restored, and guest VFP
+    // loaded but never captured back.
+    EXPECT_EQ(check::engine().violationCount("ws-pairing"), 2u);
+}
+
+// ---------------------------------------------------------- stage2-isolation
+
+TEST(Stage2IsolationRule, FlagsCrossVmPhysicalPage)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int mm = 0;
+    auto &eng = check::engine();
+    eng.stage2Map(&mm, 1, 0x80000000, 0x1000, false);
+    eng.stage2Map(&mm, 2, 0x80000000, 0x2000, false); // distinct pa: fine
+    EXPECT_EQ(eng.violationCount("stage2-isolation"), 0u);
+    eng.stage2Map(&mm, 2, 0x80001000, 0x1000, false); // vm1's page
+    EXPECT_EQ(eng.violationCount("stage2-isolation"), 1u);
+    // After vm1 unmaps it, the page may change owners.
+    eng.stage2Unmap(&mm, 1, 0x80000000, 0x1000);
+    eng.stage2Map(&mm, 3, 0x80000000, 0x1000, false);
+    EXPECT_EQ(eng.violationCount("stage2-isolation"), 1u);
+}
+
+TEST(Stage2IsolationRule, FlagsMappingOfProtectedHypPage)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int mm = 0;
+    auto &eng = check::engine();
+    eng.protectPage(&mm, 0x5000, "hyp-table");
+    eng.stage2Map(&mm, 1, 0x80000000, 0x5000, false);
+    EXPECT_EQ(eng.violationCount("stage2-isolation"), 1u);
+    // Unprotecting releases the page for guest use.
+    eng.unprotectPage(&mm, 0x5000);
+    eng.stage2Map(&mm, 1, 0x80001000, 0x5000, false);
+    EXPECT_EQ(eng.violationCount("stage2-isolation"), 1u);
+}
+
+TEST(Stage2IsolationRule, FlagsDevicePassthroughOfAnotherVmsRam)
+{
+    // Real-object injection: vm A faults in a RAM page, then vm B gets the
+    // same physical page mapped as a passthrough device region.
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    host::Mm mm(machine.ram());
+    core::Stage2Mmu vm_a(mm, 1, ArmMachine::kRamBase, 16 * kMiB);
+    core::Stage2Mmu vm_b(mm, 2, ArmMachine::kRamBase, 16 * kMiB);
+
+    ASSERT_TRUE(vm_a.handleRamFault(ArmMachine::kRamBase + 0x1000));
+    Addr stolen = *vm_a.ipaToPa(ArmMachine::kRamBase + 0x1000);
+    EXPECT_EQ(check::engine().violationCount("stage2-isolation"), 0u);
+
+    vm_b.mapDevicePage(ArmMachine::kGicvBase, stolen);
+    EXPECT_EQ(check::engine().violationCount("stage2-isolation"), 1u);
+}
+
+TEST(Stage2IsolationRule, SharedDeviceInterfaceIsLegal)
+{
+    // Both VMs map the GICV hardware interface: device pages have no
+    // single RAM owner and are legitimately shared (paper §3.5).
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    host::Mm mm(machine.ram());
+    core::Stage2Mmu vm_a(mm, 1, ArmMachine::kRamBase, 16 * kMiB);
+    core::Stage2Mmu vm_b(mm, 2, ArmMachine::kRamBase, 16 * kMiB);
+    vm_a.mapDevicePage(ArmMachine::kGiccBase, ArmMachine::kGicvBase);
+    vm_b.mapDevicePage(ArmMachine::kGiccBase, ArmMachine::kGicvBase);
+    EXPECT_EQ(check::engine().violationCount("stage2-isolation"), 0u);
+}
+
+// -------------------------------------------------------------- trap-config
+
+TEST(TrapConfigRule, CleanGuestEntryPasses)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    eng.worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    eng.worldSwitchEnd(&dom, 0, SwitchDir::ToVm, guestEntryHypState());
+    EXPECT_EQ(eng.violationCount("trap-config"), 0u);
+}
+
+TEST(TrapConfigRule, FlagsMissingTrapBitsAtGuestEntry)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    arm::HypState h = guestEntryHypState();
+    h.hcr.tsc = false;  // SMC would reach the guest unmediated
+    h.hcr.twi = false;  // WFI would idle the physical CPU
+    eng.worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    eng.worldSwitchEnd(&dom, 0, SwitchDir::ToVm, h);
+    EXPECT_EQ(eng.violationCount("trap-config"), 2u);
+}
+
+TEST(TrapConfigRule, FlagsGuestEntryWithoutStage2)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    arm::HypState h = guestEntryHypState();
+    h.hcr.vm = false;
+    h.vttbr = 0;
+    eng.worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    eng.worldSwitchEnd(&dom, 0, SwitchDir::ToVm, h);
+    // Stage-2 disabled + null VTTBR root.
+    EXPECT_EQ(eng.violationCount("trap-config"), 2u);
+}
+
+TEST(TrapConfigRule, FlagsHostReturnWithGuestConfiguration)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    eng.worldSwitchBegin(&dom, 0, SwitchDir::ToHost);
+    // Stage-2 and the trap set were left enabled: the host would run
+    // under the guest's translation regime.
+    eng.worldSwitchEnd(&dom, 0, SwitchDir::ToHost, guestEntryHypState());
+    EXPECT_EQ(eng.violationCount("trap-config"), 2u);
+}
+
+TEST(TrapConfigRule, FlagsKernelModeWithWrongStage2State)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    // Enter the guest world, then observe a PL1 transition with Stage-2
+    // off: the "guest" would see host physical memory.
+    eng.worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    eng.worldSwitchEnd(&dom, 0, SwitchDir::ToVm, guestEntryHypState());
+    eng.modeChange(&dom, 0, Mode::Hyp, Mode::Svc, /*stage2_on=*/false);
+    EXPECT_EQ(eng.violationCount("trap-config"), 1u);
+}
+
+// --------------------------------------------------------------------- vgic
+
+class VgicRuleTest : public ::testing::Test
+{
+  protected:
+    VgicRuleTest() : machine(smallMachine()) {}
+
+    void
+    writeLr(unsigned idx, IrqId virq, arm::LrState state, CpuId source = 0)
+    {
+        arm::ListReg lr;
+        lr.virq = virq;
+        lr.state = state;
+        lr.source = source;
+        machine.gich().write(0, arm::gich::LR0 + 4 * idx, lr.pack(), 4);
+    }
+
+    ArmMachine machine;
+};
+
+TEST_F(VgicRuleTest, FlagsDuplicatePendingVirq)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    writeLr(0, 40, arm::LrState::Pending);
+    EXPECT_EQ(check::engine().violationCount("vgic"), 0u);
+    writeLr(1, 40, arm::LrState::Pending); // same SPI queued twice
+    EXPECT_EQ(check::engine().violationCount("vgic"), 1u);
+}
+
+TEST_F(VgicRuleTest, SgisFromDistinctSourcesMayCoexist)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    writeLr(0, 5, arm::LrState::Pending, /*source=*/0);
+    writeLr(1, 5, arm::LrState::Pending, /*source=*/1);
+    EXPECT_EQ(check::engine().violationCount("vgic"), 0u);
+    writeLr(2, 5, arm::LrState::Pending, /*source=*/1); // same source twice
+    EXPECT_EQ(check::engine().violationCount("vgic"), 1u);
+}
+
+TEST_F(VgicRuleTest, FlagsMaintenanceIrqWithoutUnderflow)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    auto &eng = check::engine();
+
+    // Genuine underflow: enabled, underflow irq requested, all LRs empty.
+    arm::VgicBank bank;
+    bank.en = true;
+    bank.uie = true;
+    eng.maintenanceIrq(0, bank);
+    EXPECT_EQ(eng.violationCount("vgic"), 0u);
+
+    // An LR still holds a pending interrupt: not an underflow.
+    bank.lr[2].virq = 40;
+    bank.lr[2].state = arm::LrState::Pending;
+    eng.maintenanceIrq(0, bank);
+    EXPECT_EQ(eng.violationCount("vgic"), 1u);
+
+    // Interface disabled: the interrupt should never have been raised.
+    arm::VgicBank off;
+    off.uie = true;
+    eng.maintenanceIrq(0, off);
+    EXPECT_EQ(eng.violationCount("vgic"), 2u);
+}
+
+// ------------------------------------------------------ full-stack coverage
+
+/** A guest that exercises hypercalls, Stage-2 faults and VFP. */
+class ProbeGuestOs : public arm::OsVectors
+{
+  public:
+    void irq(ArmCpu &cpu) override
+    {
+        std::uint32_t iar = static_cast<std::uint32_t>(
+            cpu.memRead(ArmMachine::kGiccBase + arm::gicc::IAR, 4));
+        cpu.memWrite(ArmMachine::kGiccBase + arm::gicc::EOIR, iar);
+    }
+    void svc(ArmCpu &, std::uint32_t) override {}
+    bool pageFault(ArmCpu &, Addr, bool, bool) override { return false; }
+    const char *name() const override { return "probe-guest"; }
+};
+
+/**
+ * The paper's whole split-mode stack — boot, per-CPU Hyp init via
+ * hypercall, guest residency with world switches, lazy VFP, Stage-2
+ * demand paging, VGIC interrupt delivery — runs under Enforce mode: any
+ * invariant violation anywhere in those paths throws and fails the test.
+ */
+TEST(FullStackInvariants, WholeGuestLifecycleIsViolationFree)
+{
+    ScopedCheckMode scoped(CheckMode::Enforce);
+
+    ArmMachine::Config mc = smallMachine(2);
+    ArmMachine machine(mc);
+    host::HostKernel hostk(machine);
+    core::Kvm kvm(hostk);
+    ProbeGuestOs guest_os;
+
+    machine.cpu(0).setEntry([&] {
+        ArmCpu &cpu = machine.cpu(0);
+        hostk.boot(0);
+        ASSERT_TRUE(kvm.initCpu(cpu));
+
+        auto vm = kvm.createVm(32 * kMiB);
+        core::VCpu &vcpu = vm->addVcpu(0);
+        vcpu.setGuestOs(&guest_os);
+
+        vcpu.run(cpu, [&](ArmCpu &c) {
+            c.memWrite(ArmMachine::kRamBase + 0x1000, 0xAB, 4);
+            c.hvc(core::hvc::kTestHypercall);
+            c.fpOp(50); // lazy VFP switch via the HCPTR trap
+            c.sensitiveOp(arm::SensitiveOp::ActlrRead);
+            c.hvc(core::hvc::kTestHypercall);
+            EXPECT_EQ(c.memRead(ArmMachine::kRamBase + 0x1000, 4), 0xABu);
+        });
+    });
+    machine.run();
+
+    EXPECT_EQ(check::engine().violationCount(), 0u);
+}
+
+// ------------------------------------------------------------------- engine
+
+TEST(InvariantEngine, CustomRulesCanBeRegistered)
+{
+    class CountingRule : public check::InvariantRule
+    {
+      public:
+        const char *name() const override { return "counting"; }
+        void
+        onHypAccess(check::InvariantEngine &,
+                    const check::HypAccessEvent &) override
+        {
+            ++events;
+        }
+        int events = 0;
+    };
+
+    ScopedCheckMode scoped(CheckMode::Log);
+    auto rule = std::make_unique<CountingRule>();
+    CountingRule *raw = rule.get();
+    check::engine().addRule(std::move(rule));
+
+    check::engine().hypAccess(0, Mode::Hyp, "hcr");
+    check::engine().hypAccess(0, Mode::Svc, "hcr");
+    EXPECT_EQ(raw->events, 2);
+    // The built-in privilege rule saw the second access too.
+    EXPECT_EQ(check::engine().violationCount("privilege"), 1u);
+}
+
+TEST(InvariantEngine, ResetClearsViolationsAndShadowState)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    machine.cpu(0).hypSys("hcr");
+    EXPECT_EQ(check::engine().violationCount(), 1u);
+    check::engine().reset();
+    EXPECT_EQ(check::engine().violationCount(), 0u);
+}
+
+#endif // KVMARM_INVARIANTS_ENABLED
+
+} // namespace
+} // namespace kvmarm

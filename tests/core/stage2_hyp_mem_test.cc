@@ -98,7 +98,11 @@ TEST_F(Stage2Test, HypMemMapsAtSameAddresses)
     hyp.build();
     hyp.build(); // idempotent
     arm::ArmCpu &cpu = machine.cpu(0);
+    // Per-CPU Hyp enablement touches HTTBR/HSCTLR, so it runs in Hyp mode
+    // (the real path gets there via the kInitCpu hypercall).
+    cpu.setMode(arm::Mode::Hyp);
     hyp.enableOnCpu(cpu);
+    cpu.setMode(arm::Mode::Svc);
     EXPECT_TRUE(cpu.hyp().hsctlrM);
 
     // Hyp VAs == kernel VAs for shared data (paper §3.1): a RAM address

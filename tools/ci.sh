@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CI driver: builds and tests the three supported configurations and runs
+# the static checks. Usable locally (tools/ci.sh) and from the GitHub
+# workflow; each leg can be run alone (tools/ci.sh asan).
+#
+#   release    RelWithDebInfo, default checker mode (Off at runtime)
+#   asan       AddressSanitizer + UBSan, whole test suite
+#   enforce    release binaries, whole suite under KVMARM_CHECK=enforce
+#   nochecks   KVMARM_INVARIANTS=OFF compile check (hooks compile away)
+#   lint       clang-tidy (or strict-GCC fallback) on changed files
+#   format     tools/format.sh --check
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+run_suite() { # <build-dir> [env...]
+    local dir=$1
+    shift
+    env "$@" ctest --test-dir "$dir" --output-on-failure
+}
+
+leg_release() {
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-ci-release -j"$JOBS"
+    run_suite build-ci-release
+}
+
+leg_asan() {
+    cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DKVMARM_SANITIZE=address,undefined
+    cmake --build build-ci-asan -j"$JOBS"
+    # ASan and the invariant checker compose: enforce while sanitized.
+    run_suite build-ci-asan KVMARM_CHECK=enforce \
+        ASAN_OPTIONS=detect_stack_use_after_return=0
+}
+
+leg_enforce() {
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-ci-release -j"$JOBS"
+    run_suite build-ci-release KVMARM_CHECK=enforce
+}
+
+leg_nochecks() {
+    cmake -B build-ci-nochecks -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DKVMARM_INVARIANTS=OFF
+    cmake --build build-ci-nochecks -j"$JOBS"
+    run_suite build-ci-nochecks
+}
+
+leg_lint() {
+    tools/lint.sh --changed
+}
+
+leg_format() {
+    tools/format.sh --check
+}
+
+legs=${*:-release asan enforce nochecks lint format}
+for leg in $legs; do
+    echo "==== ci leg: $leg ===="
+    "leg_$leg"
+done
+echo "==== ci: all legs passed ===="

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Formatting driver.
+#
+#   tools/format.sh           # rewrite sources in place
+#   tools/format.sh --check   # fail if any file would change
+#
+# Uses clang-format with the repo's .clang-format profile. When
+# clang-format is not installed the script only runs cheap built-in
+# hygiene checks (trailing whitespace, tabs in C++ sources) so it stays
+# meaningful in minimal containers.
+set -u
+
+cd "$(dirname "$0")/.."
+
+check=0
+[ "${1:-}" = "--check" ] && check=1
+
+mapfile -t targets < <(find src tests bench examples \
+    \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) 2>/dev/null | sort)
+if [ ${#targets[@]} -eq 0 ]; then
+    echo "format: no files found"
+    exit 0
+fi
+
+status=0
+if command -v clang-format >/dev/null 2>&1; then
+    if [ $check -eq 1 ]; then
+        for f in "${targets[@]}"; do
+            if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+                echo "format: $f needs reformatting"
+                status=1
+            fi
+        done
+    else
+        clang-format -i "${targets[@]}"
+    fi
+else
+    echo "format: clang-format not found; running hygiene checks only"
+fi
+
+# Hygiene checks that need no external tool.
+for f in "${targets[@]}"; do
+    if grep -nP ' +$' "$f" >/dev/null; then
+        echo "format: $f has trailing whitespace"
+        status=1
+    fi
+    if grep -nP '\t' "$f" >/dev/null; then
+        echo "format: $f contains tab characters"
+        status=1
+    fi
+done
+
+exit $status

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Static-analysis driver.
+#
+#   tools/lint.sh [--changed] [files...]
+#
+# Runs clang-tidy (with the repo's .clang-tidy profile) over the given
+# files, over the files changed relative to the default branch (--changed),
+# or over every C++ source in src/. When clang-tidy is not installed the
+# script falls back to a strict-warning GCC pass (-Wall -Wextra -Werror
+# plus a few extras), so CI always has a working lint leg.
+set -u
+
+cd "$(dirname "$0")/.."
+
+mode=all
+files=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --changed) mode=changed ;;
+      -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+      *) mode=explicit; files+=("$1") ;;
+    esac
+    shift
+done
+
+collect_files() {
+    case "$mode" in
+      explicit)
+        printf '%s\n' "${files[@]}" ;;
+      changed)
+        # Files touched relative to the merge base with the default branch;
+        # fall back to the last commit's files on a detached/shallow tree.
+        local base
+        base=$(git merge-base HEAD origin/main 2>/dev/null ||
+               git rev-parse HEAD~1 2>/dev/null || true)
+        if [ -n "$base" ]; then
+            git diff --name-only --diff-filter=d "$base" -- \
+                'src/*.cc' 'src/*.hh' 'tests/*.cc' 'bench/*.cc'
+        fi ;;
+      all)
+        find src -name '*.cc' | sort ;;
+    esac
+}
+
+mapfile -t targets < <(collect_files | grep -E '\.(cc|hh)$' || true)
+if [ ${#targets[@]} -eq 0 ]; then
+    echo "lint: no files to check"
+    exit 0
+fi
+
+# clang-tidy needs a compilation database.
+ensure_compdb() {
+    if [ ! -f build/compile_commands.json ]; then
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    fi
+}
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    ensure_compdb
+    status=0
+    for f in "${targets[@]}"; do
+        case "$f" in
+          *.hh) continue ;; # headers are covered via HeaderFilterRegex
+        esac
+        echo "clang-tidy $f"
+        clang-tidy -p build --quiet "$f" || status=1
+    done
+    exit $status
+fi
+
+echo "lint: clang-tidy not found; using strict-warning GCC pass"
+status=0
+for f in "${targets[@]}"; do
+    case "$f" in
+      *.hh) continue ;;
+    esac
+    echo "g++ -fsyntax-only $f"
+    g++ -std=c++20 -fsyntax-only -Isrc \
+        -Wall -Wextra -Werror -Wshadow -Wnon-virtual-dtor \
+        -Wold-style-cast -Woverloaded-virtual "$f" || status=1
+done
+exit $status
