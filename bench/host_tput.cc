@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Host wall-clock throughput benchmarks: how fast the *simulator itself*
+ * runs, as opposed to the simulated cycle counts every other bench reports.
+ *
+ * Six storm scenarios drive the hot paths the fast-path layer optimizes:
+ *
+ *   guest_compute  straight-line guest loads within one page (micro-TLB)
+ *   tlb_hit        a 64-page working set cycled repeatedly (main TLB)
+ *   world_switch   back-to-back null hypercalls (two world switches each)
+ *   stage2_fault   every access touches a fresh page (Stage-2 fault + map)
+ *   mmio_kernel    stores to an in-kernel emulated device
+ *   mmio_vgic      loads from the virtual distributor (GICD emulation)
+ *
+ * Each scenario reports host guest-ops/sec and the *simulated* cycles it
+ * consumed; the latter is deterministic and must not change when host-side
+ * fast paths do (the attribution/throughput separation, DESIGN.md §4.6 —
+ * the sole recorded exception is stage2_fault's TLB-capacity overflow,
+ * see EXPERIMENTS.md "Host throughput").
+ *
+ * Output: BENCH_host_tput.json. If the output file already holds a
+ * "baseline" section it is preserved, so the committed JSON carries the
+ * pre-optimization numbers forward and "speedup" tracks the trajectory.
+ * --rebaseline replaces the baseline with this run; --smoke shrinks the
+ * iteration counts for CI and never writes unless --out is given.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arm/gic.hh"
+#include "arm/machine.hh"
+#include "core/kvm.hh"
+#include "host/kernel.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace kvmarm;
+using arm::ArmCpu;
+using arm::ArmMachine;
+
+struct Result
+{
+    std::string name;
+    std::uint64_t iterations = 0;
+    double wallSeconds = 0;
+    double opsPerSec = 0;
+    std::uint64_t simCycles = 0;
+};
+
+/** Pinned full-run iteration counts (EXPERIMENTS.md "Host throughput"). */
+struct Iters
+{
+    std::uint64_t guestCompute = 2'000'000;
+    std::uint64_t tlbHit = 1'000'000;
+    std::uint64_t worldSwitch = 100'000;
+    std::uint64_t stage2Fault = 24'576;
+    std::uint64_t mmioKernel = 100'000;
+    std::uint64_t mmioVgic = 100'000;
+
+    void
+    smoke()
+    {
+        guestCompute = 20'000;
+        tlbHit = 10'000;
+        worldSwitch = 1'000;
+        stage2Fault = 1'024;
+        mmioKernel = 1'000;
+        mmioVgic = 1'000;
+    }
+};
+
+/** One fresh machine + host + KVM stack + 1-VCPU guest per scenario. */
+Result
+runScenario(const std::string &name, std::uint64_t iters,
+            const std::function<void(ArmCpu &, core::Vm &, std::uint64_t)>
+                &body)
+{
+    ArmMachine::Config mc;
+    mc.numCpus = 1;
+    mc.ramSize = 256 * kMiB;
+    ArmMachine machine(mc);
+    host::HostKernel hostk(machine);
+    core::Kvm kvm(hostk, core::KvmConfig{});
+
+    Result res;
+    res.name = name;
+    res.iterations = iters;
+
+    machine.cpu(0).setEntry([&] {
+        ArmCpu &cpu = machine.cpu(0);
+        hostk.boot(0);
+        if (!kvm.initCpu(cpu))
+            fatal("host_tput: KVM init failed");
+        std::unique_ptr<core::Vm> vm = kvm.createVm(128 * kMiB);
+        core::VCpu &vcpu = vm->addVcpu(0);
+
+        vm->addKernelDevice(core::Vm::kKernelTestDevBase, 0x1000,
+                            [](bool, Addr, std::uint64_t, unsigned) {
+                                return std::uint64_t{0};
+                            });
+        vm->setUserMmioHandler(
+            [](ArmCpu &c, core::VCpu &, core::MmioExit &exit) {
+                c.compute(800);
+                exit.handled = true;
+                exit.data = 0;
+            });
+
+        vcpu.run(cpu, [&](ArmCpu &c) {
+            Cycles sim0 = c.now();
+            auto t0 = std::chrono::steady_clock::now();
+            body(c, *vm, iters);
+            auto t1 = std::chrono::steady_clock::now();
+            res.simCycles = c.now() - sim0;
+            res.wallSeconds =
+                std::chrono::duration<double>(t1 - t0).count();
+        });
+    });
+    machine.run();
+
+    res.opsPerSec =
+        res.wallSeconds > 0 ? double(iters) / res.wallSeconds : 0;
+    return res;
+}
+
+std::vector<Result>
+runAll(const Iters &it)
+{
+    std::vector<Result> out;
+
+    out.push_back(runScenario(
+        "guest_compute", it.guestCompute,
+        [](ArmCpu &c, core::Vm &vm, std::uint64_t n) {
+            const Addr page = vm.ramBase() + 0x10000;
+            c.memRead(page, 4); // warm: fault + map + TLB fill
+            for (std::uint64_t i = 0; i < n; ++i)
+                c.memRead(page + ((i & 127) * 8), 4);
+        }));
+
+    out.push_back(runScenario(
+        "tlb_hit", it.tlbHit,
+        [](ArmCpu &c, core::Vm &vm, std::uint64_t n) {
+            constexpr unsigned kPages = 64;
+            const Addr base = vm.ramBase() + 0x100000;
+            for (unsigned p = 0; p < kPages; ++p) // warm: map + fill
+                c.memRead(base + Addr(p) * kPageSize, 4);
+            for (std::uint64_t i = 0; i < n; ++i)
+                c.memRead(base + Addr(i % kPages) * kPageSize, 4);
+        }));
+
+    out.push_back(runScenario(
+        "world_switch", it.worldSwitch,
+        [](ArmCpu &c, core::Vm &, std::uint64_t n) {
+            c.hvc(core::hvc::kTestHypercall); // warm: settle lazy state
+            for (std::uint64_t i = 0; i < n; ++i)
+                c.hvc(core::hvc::kTestHypercall);
+        }));
+
+    out.push_back(runScenario(
+        "stage2_fault", it.stage2Fault,
+        [](ArmCpu &c, core::Vm &vm, std::uint64_t n) {
+            const Addr base = vm.ramBase() + 0x400000;
+            for (std::uint64_t i = 0; i < n; ++i)
+                c.memRead(base + Addr(i) * kPageSize, 4);
+        }));
+
+    out.push_back(runScenario(
+        "mmio_kernel", it.mmioKernel,
+        [](ArmCpu &c, core::Vm &, std::uint64_t n) {
+            c.memWrite(core::Vm::kKernelTestDevBase, 0, 4); // warm
+            for (std::uint64_t i = 0; i < n; ++i)
+                c.memWrite(core::Vm::kKernelTestDevBase,
+                           static_cast<std::uint32_t>(i), 4);
+        }));
+
+    out.push_back(runScenario(
+        "mmio_vgic", it.mmioVgic,
+        [](ArmCpu &c, core::Vm &, std::uint64_t n) {
+            c.memRead(ArmMachine::kGicdBase + arm::gicd::ISENABLER, 4);
+            for (std::uint64_t i = 0; i < n; ++i)
+                c.memRead(ArmMachine::kGicdBase + arm::gicd::ISENABLER, 4);
+        }));
+
+    return out;
+}
+
+/**
+ * Recover the "baseline" section of a previously emitted JSON file. Only
+ * parses the exact format emitted below — not a general JSON parser.
+ */
+std::map<std::string, Result>
+readBaseline(const std::string &path)
+{
+    std::map<std::string, Result> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::size_t sec = text.find("\"baseline\"");
+    if (sec == std::string::npos)
+        return out;
+    std::size_t open = text.find('{', sec);
+    if (open == std::string::npos)
+        return out;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < text.size(); ++close) {
+        if (text[close] == '{')
+            ++depth;
+        else if (text[close] == '}' && --depth == 0)
+            break;
+    }
+    const std::string section = text.substr(open, close - open + 1);
+
+    std::size_t pos = 1;
+    while (true) {
+        std::size_t q0 = section.find('"', pos);
+        if (q0 == std::string::npos)
+            break;
+        std::size_t q1 = section.find('"', q0 + 1);
+        if (q1 == std::string::npos)
+            break;
+        Result r;
+        r.name = section.substr(q0 + 1, q1 - q0 - 1);
+        std::size_t obj = section.find('{', q1);
+        std::size_t end = section.find('}', obj);
+        if (obj == std::string::npos || end == std::string::npos)
+            break;
+        const std::string fields = section.substr(obj, end - obj);
+        auto num = [&](const char *key, double &v) {
+            std::size_t k = fields.find(key);
+            if (k != std::string::npos)
+                v = std::strtod(
+                    fields.c_str() + fields.find(':', k) + 1, nullptr);
+        };
+        double iters = 0, wall = 0, ops = 0, cycles = 0;
+        num("\"iterations\"", iters);
+        num("\"wall_seconds\"", wall);
+        num("\"ops_per_sec\"", ops);
+        num("\"sim_cycles\"", cycles);
+        r.iterations = static_cast<std::uint64_t>(iters);
+        r.wallSeconds = wall;
+        r.opsPerSec = ops;
+        r.simCycles = static_cast<std::uint64_t>(cycles);
+        out[r.name] = r;
+        pos = end + 1;
+    }
+    return out;
+}
+
+void
+writeSection(std::FILE *f, const char *name,
+             const std::vector<Result> &rows)
+{
+    std::fprintf(f, "  \"%s\": {\n", name);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Result &r = rows[i];
+        std::fprintf(f,
+                     "    \"%s\": { \"iterations\": %llu, "
+                     "\"wall_seconds\": %.6f, \"ops_per_sec\": %.1f, "
+                     "\"sim_cycles\": %llu }%s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.iterations),
+                     r.wallSeconds, r.opsPerSec,
+                     static_cast<unsigned long long>(r.simCycles),
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+}
+
+void
+writeJson(const std::string &path, const std::vector<Result> &current,
+          const std::vector<Result> &baseline, bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("host_tput: cannot write %s", path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"host_tput\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    writeSection(f, "baseline", baseline);
+    writeSection(f, "current", current);
+    std::fprintf(f, "  \"speedup\": {\n");
+    for (std::size_t i = 0; i < current.size(); ++i) {
+        double base_ops = 0;
+        for (const Result &b : baseline)
+            if (b.name == current[i].name)
+                base_ops = b.opsPerSec;
+        double s = base_ops > 0 ? current[i].opsPerSec / base_ops : 1.0;
+        std::fprintf(f, "    \"%s\": %.2f%s\n", current[i].name.c_str(), s,
+                     i + 1 < current.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool rebaseline = false;
+    std::string out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--rebaseline") == 0) {
+            rebaseline = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: host_tput [--smoke] [--rebaseline] "
+                         "[--out file.json]\n");
+            return 2;
+        }
+    }
+    if (out.empty() && !smoke)
+        out = "BENCH_host_tput.json";
+
+    setInformEnabled(false);
+    Iters it;
+    if (smoke)
+        it.smoke();
+
+    std::vector<Result> current = runAll(it);
+
+    std::printf("\n=== Host throughput (wall clock) ===\n");
+    std::printf("%-16s %12s %10s %14s %16s\n", "scenario", "iterations",
+                "wall[s]", "ops/sec", "sim cycles");
+    for (const Result &r : current) {
+        std::printf("%-16s %12llu %10.3f %14.0f %16llu\n", r.name.c_str(),
+                    static_cast<unsigned long long>(r.iterations),
+                    r.wallSeconds, r.opsPerSec,
+                    static_cast<unsigned long long>(r.simCycles));
+    }
+
+    if (!out.empty()) {
+        std::map<std::string, Result> prior = readBaseline(out);
+        std::vector<Result> baseline;
+        for (const Result &r : current) {
+            auto itb = prior.find(r.name);
+            baseline.push_back(
+                (!rebaseline && itb != prior.end()) ? itb->second : r);
+        }
+        writeJson(out, current, baseline, smoke);
+        std::printf("\nwrote %s\n", out.c_str());
+    }
+    return 0;
+}

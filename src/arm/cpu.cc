@@ -37,7 +37,8 @@ ArmCpu::trapToHyp(const Hsr &hsr)
               "was the kernel booted in Hyp mode?",
               id_, excClassName(hsr.ec));
     }
-    stats_.counter(std::string("trap.") + excClassName(hsr.ec)).inc();
+    statTrap_[static_cast<std::size_t>(hsr.ec)].inc(
+        stats_, [&] { return std::string("trap.") + excClassName(hsr.ec); });
 
     // Save the trapped-from state; the handler may retarget the ERET via
     // setHypReturn (SPSR_hyp semantics). Nested traps (an IRQ trapping to
@@ -77,7 +78,7 @@ ArmCpu::takePageFaultToKernel(Addr va, bool write, Access acc)
     if (!osVectors_)
         panic("cpu%u: stage-1 fault at %#llx with no OS vectors", id_,
               static_cast<unsigned long long>(va));
-    stats_.counter("fault.stage1").inc();
+    statFaultStage1_.inc(stats_, "fault.stage1");
 
     Mode saved_mode = mode_;
     bool saved_mask = irqMasked_;
@@ -226,7 +227,7 @@ ArmCpu::wfi()
         trapToHyp(hsr);
         return;
     }
-    stats_.counter("wfi.native").inc();
+    statWfiNative_.inc(stats_, "wfi.native");
     // WFI completes once an interrupt occurs — even if it was serviced
     // while waiting (the wake condition is "interrupt taken or pending",
     // not "still pending").
@@ -496,7 +497,7 @@ ArmCpu::serviceInterrupts()
         }
         bool phys = armMachine_.gicc().irqLineHigh(id_);
         if (phys && hyp_.hcr.imo && mode_ != Mode::Hyp) {
-            stats_.counter("irq.toHyp").inc();
+            statIrqToHyp_.inc(stats_, "irq.toHyp");
             Hsr hsr;
             hsr.ec = ExcClass::Irq;
             inIrqService_ = false;
@@ -512,7 +513,7 @@ ArmCpu::serviceInterrupts()
             ((armMachine_.config().hwVgic &&
               armMachine_.gich().virqLineHigh(id_)) ||
              hyp_.hcr.vi)) {
-            stats_.counter("irq.virtual").inc();
+            statIrqVirtual_.inc(stats_, "irq.virtual");
             takeIrqToKernel();
             continue;
         }
@@ -538,7 +539,7 @@ ArmCpu::serviceInterrupts()
 void
 ArmCpu::takeIrqToKernel()
 {
-    stats_.counter("irq.toKernel").inc();
+    statIrqToKernel_.inc(stats_, "irq.toKernel");
     ++interruptsTaken_;
     Mode saved = mode_;
     bool saved_mask = irqMasked_;

@@ -13,7 +13,8 @@ constexpr std::uint8_t kDefaultPrio = 0xA0;
 } // namespace
 
 GicDistributor::GicDistributor(ArmMachine &machine, unsigned num_cpus)
-    : machine_(machine), numCpus_(num_cpus), banks_(num_cpus)
+    : machine_(machine), numCpus_(num_cpus), banks_(num_cpus),
+      pendingCache_(num_cpus)
 {
     priority_.fill(kDefaultPrio);
     targets_.fill(0x01); // SPIs target CPU0 until reconfigured
@@ -34,7 +35,10 @@ GicDistributor::raiseSpi(IrqId irq, Cycles when)
         panic("GicDistributor::raiseSpi: bad irq %u", irq);
     CpuId target = routeSpi(irq);
     machine_.cpuBase(target).events().schedule(
-        when, [this, irq] { pending_[irq] = true; });
+        when, [this, irq] {
+            pending_[irq] = true;
+            touch();
+        });
 }
 
 CpuId
@@ -54,18 +58,21 @@ GicDistributor::raisePpi(CpuId cpu, IrqId irq)
     if (irq >= kFirstSpi)
         panic("GicDistributor::raisePpi: %u is not a PPI/SGI", irq);
     banks_.at(cpu).ppiPending[irq] = true;
+    touch();
 }
 
 void
 GicDistributor::clearPpi(CpuId cpu, IrqId irq)
 {
     banks_.at(cpu).ppiPending[irq] = false;
+    touch();
 }
 
 void
 GicDistributor::setSgiPending(CpuId target, IrqId sgi, CpuId source)
 {
     banks_.at(target).sgiSources[sgi] |= (1u << source);
+    touch();
 }
 
 void
@@ -107,9 +114,15 @@ GicDistributor::writeSgir(CpuId src, std::uint32_t value)
 PendingIrq
 GicDistributor::bestPending(CpuId cpu) const
 {
+    PendingCache &cache = pendingCache_.at(cpu);
+    if (cache.version == version_)
+        return cache.best;
+
     PendingIrq best;
-    if (!enabled())
+    if (!enabled()) {
+        cache = {version_, best};
         return best;
+    }
 
     const Bank &bank = banks_.at(cpu);
 
@@ -139,6 +152,7 @@ GicDistributor::bestPending(CpuId cpu) const
             consider(spi, priority_[spi], 0);
         }
     }
+    cache = {version_, best};
     return best;
 }
 
@@ -152,6 +166,7 @@ GicDistributor::acknowledge(CpuId cpu, IrqId irq, CpuId source)
         bank.ppiPending[irq] = false;
     else if (irq < kMaxIrqs)
         pending_[irq] = false;
+    touch();
 }
 
 std::uint64_t
@@ -209,6 +224,7 @@ GicDistributor::write(CpuId cpu, Addr offset, std::uint64_t value,
                       unsigned len)
 {
     (void)len;
+    touch(); // every register write may change what is pending for whom
     Bank &bank = banks_.at(cpu);
     std::uint32_t v = static_cast<std::uint32_t>(value);
     if (offset == gicd::CTLR) {

@@ -116,6 +116,9 @@ class GicDistributor : public MmioDevice
     void setSgiPending(CpuId target, IrqId sgi, CpuId source);
     CpuId routeSpi(IrqId irq) const;
 
+    /** Note a state change that can alter bestPending() results. */
+    void touch() { ++version_; }
+
     ArmMachine &machine_;
     unsigned numCpus_;
     std::uint32_t ctlr_ = 0;
@@ -135,6 +138,22 @@ class GicDistributor : public MmioDevice
         std::array<std::uint8_t, 32> priority{};
     };
     std::vector<Bank> banks_;
+
+    /**
+     * bestPending() is a pure function of distributor state, yet it is
+     * polled on the CPUs' interrupt lines every time simulated time
+     * advances — far more often than the state changes. Every mutation
+     * bumps version_; each CPU caches its last answer with the version it
+     * was computed at, so the common poll is one integer compare instead
+     * of a scan over the whole IRQ space.
+     */
+    std::uint64_t version_ = 1;
+    struct PendingCache
+    {
+        std::uint64_t version = 0; //!< 0 never matches (version_ starts at 1)
+        PendingIrq best;
+    };
+    mutable std::vector<PendingCache> pendingCache_;
 };
 
 /**

@@ -10,6 +10,7 @@
 #ifndef KVMARM_ARM_HSR_HH
 #define KVMARM_ARM_HSR_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "arm/registers.hh"
@@ -32,6 +33,10 @@ enum class ExcClass : std::uint8_t
     TimerTrap,    //!< trapped timer/counter access (CNTHCTL or no vtimers)
     FpTrap,       //!< trapped VFP access (HCPTR, lazy FP switching)
 };
+
+/** Number of ExcClass values (for per-class counter tables). */
+inline constexpr std::size_t kNumExcClasses =
+    static_cast<std::size_t>(ExcClass::FpTrap) + 1;
 
 /** Sensitive operations KVM/ARM traps and emulates (Table 1, bottom). */
 enum class SensitiveOp : std::uint8_t

@@ -52,6 +52,25 @@ Mmu::Mmu(ArmCpu &cpu) : cpu_(cpu)
 {
 }
 
+const TlbEntry *
+Mmu::microLookup(const TlbKey &key, Access acc)
+{
+    MicroTlbEntry &m = acc == Access::Exec ? microCode_ : microData_;
+    if (m.valid && m.epoch == tlb_.epoch() && m.key == key)
+        return &m.entry;
+    return nullptr;
+}
+
+void
+Mmu::microFill(const TlbKey &key, const TlbEntry &entry, Access acc)
+{
+    MicroTlbEntry &m = acc == Access::Exec ? microCode_ : microData_;
+    m.key = key;
+    m.entry = entry;
+    m.epoch = tlb_.epoch();
+    m.valid = true;
+}
+
 TranslateResult
 Mmu::walkStage2(Addr ipa, Access acc, Cycles &cost)
 {
@@ -117,6 +136,18 @@ Mmu::translateHyp(Addr va, Access acc)
     }
 
     TlbKey key{TlbRegime::Hyp, 0, 0, pageAlignDown(va)};
+    if (const TlbEntry *e = microLookup(key, acc)) {
+        // Fast path: same page as the last Hyp access of this kind. Taken
+        // only when the access succeeds; permission problems fall through
+        // to the full lookup for precise fault reporting.
+        if (checkS1Perms(e->s1Perms, acc, Mode::Hyp)) {
+            tlb_.countHit();
+            res.ok = true;
+            res.pa = e->ppage | (va & (kPageSize - 1));
+            res.device = e->device;
+            return res;
+        }
+    }
     if (const TlbEntry *e = tlb_.lookup(key)) {
         tlb_.countHit();
         if (!checkS1Perms(e->s1Perms, acc, Mode::Hyp)) {
@@ -124,6 +155,7 @@ Mmu::translateHyp(Addr va, Access acc)
             res.faultAddr = va;
             return res;
         }
+        microFill(key, *e, acc);
         res.ok = true;
         res.pa = e->ppage | (va & (kPageSize - 1));
         res.device = e->device;
@@ -159,6 +191,7 @@ Mmu::translateHyp(Addr va, Access acc)
     entry.s1Perms = wr.perms;
     entry.device = wr.perms.device;
     tlb_.insert(key, entry);
+    microFill(key, entry, acc); // after insert: epoch may have moved
 
     res.ok = true;
     res.pa = wr.pa;
@@ -183,6 +216,19 @@ Mmu::translate(Addr va, Access acc, Mode mode)
     std::uint32_t asid = s1_on ? regs[CtrlReg::CONTEXTIDR] : 0;
 
     TlbKey key{TlbRegime::Pl0Pl1, vmid, asid, pageAlignDown(va)};
+    if (const TlbEntry *e = microLookup(key, acc)) {
+        // Fast path: same page as the last access of this kind. Taken only
+        // when the access fully succeeds; permission problems fall through
+        // to the full lookup/walk for precise fault reporting.
+        if (checkS1Perms(e->s1Perms, acc, mode) &&
+            (!e->hasStage2 || checkS2Perms(e->s2Perms, acc))) {
+            tlb_.countHit();
+            res.ok = true;
+            res.pa = e->ppage | (va & (kPageSize - 1));
+            res.device = e->device;
+            return res;
+        }
+    }
     if (const TlbEntry *e = tlb_.lookup(key)) {
         if (!checkS1Perms(e->s1Perms, acc, mode)) {
             tlb_.countHit();
@@ -196,6 +242,7 @@ Mmu::translate(Addr va, Access acc, Mode mode)
             // reported with precise IPA/level information.
         } else {
             tlb_.countHit();
+            microFill(key, *e, acc);
             res.ok = true;
             res.pa = e->ppage | (va & (kPageSize - 1));
             res.device = e->device;
@@ -286,6 +333,7 @@ Mmu::translate(Addr va, Access acc, Mode mode)
     entry.hasStage2 = s2_on;
     entry.device = device;
     tlb_.insert(key, entry);
+    microFill(key, entry, acc); // after insert: epoch may have moved
 
     res.ok = true;
     res.pa = pa;

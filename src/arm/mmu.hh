@@ -50,11 +50,35 @@ class Mmu
     Tlb &tlb() { return tlb_; }
 
   private:
+    /**
+     * One-entry "micro-TLB" in front of the set-associative lookup: the
+     * last page translated for instruction fetches and the last page for
+     * data accesses. Straight-line guest execution stays within a page for
+     * long stretches, so most translations are resolved by a key compare.
+     *
+     * A micro entry is a *copy* of a main-TLB entry, valid only while the
+     * TLB's invalidation epoch is unchanged (any flush, eviction or
+     * remap bumps it), so it can never outlive the entry it shadows and
+     * simulated cycle attribution is identical with or without it.
+     */
+    struct MicroTlbEntry
+    {
+        TlbKey key{};
+        TlbEntry entry{};
+        std::uint64_t epoch = 0;
+        bool valid = false;
+    };
+
     TranslateResult translateHyp(Addr va, Access acc);
     TranslateResult walkStage2(Addr ipa, Access acc, Cycles &cost);
 
+    const TlbEntry *microLookup(const TlbKey &key, Access acc);
+    void microFill(const TlbKey &key, const TlbEntry &entry, Access acc);
+
     ArmCpu &cpu_;
     Tlb tlb_;
+    MicroTlbEntry microCode_;
+    MicroTlbEntry microData_;
 };
 
 } // namespace kvmarm::arm

@@ -1,16 +1,22 @@
 /**
  * @file
  * A simple unified TLB caching completed translations (combined Stage-1 +
- * Stage-2), tagged by regime, VMID and ASID as on hardware, with FIFO
- * replacement.
+ * Stage-2), tagged by regime, VMID and ASID as on hardware.
+ *
+ * Implemented as a fixed-size set-associative array indexed by page number,
+ * with per-set FIFO (round-robin) replacement. Flushes are O(1): entries
+ * carry generation tags, and `flushAll`/`flushVmid` invalidate by bumping
+ * the matching generation counter instead of erasing entries. `flushVa`
+ * touches exactly one set (the index depends only on the page number, so
+ * every tagging of a VA lives in the same set).
  */
 
 #ifndef KVMARM_ARM_TLB_HH
 #define KVMARM_ARM_TLB_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "arm/pagetable.hh"
 #include "sim/types.hh"
@@ -34,18 +40,6 @@ struct TlbKey
     bool operator==(const TlbKey &) const = default;
 };
 
-struct TlbKeyHash
-{
-    std::size_t
-    operator()(const TlbKey &k) const
-    {
-        std::size_t h = k.vpage * 0x9E3779B97F4A7C15ull;
-        h ^= (std::size_t(k.asid) << 17) ^ (std::size_t(k.vmid) << 9) ^
-             std::size_t(k.regime);
-        return h;
-    }
-};
-
 struct TlbEntry
 {
     Addr ppage = 0;
@@ -55,11 +49,11 @@ struct TlbEntry
     bool device = false;
 };
 
-/** Fully associative, FIFO-replaced TLB. */
+/** Set-associative TLB with generation-counter invalidation. */
 class Tlb
 {
   public:
-    explicit Tlb(std::size_t capacity = 256) : capacity_(capacity) {}
+    explicit Tlb(std::size_t capacity = 256);
 
     const TlbEntry *lookup(const TlbKey &key) const;
     void insert(const TlbKey &key, const TlbEntry &entry);
@@ -70,16 +64,57 @@ class Tlb
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
-    std::size_t size() const { return map_.size(); }
+
+    /** Number of currently valid entries (diagnostics/tests; O(capacity)). */
+    std::size_t size() const;
+
+    /** Entries the array can hold (sets x ways). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Monotonic count of events that may invalidate a previously returned
+     * entry: flushes of any kind, evictions, and in-place updates. Front
+     * side caches (the MMU micro-TLB) snapshot this and drop their copy
+     * when it moves, so they can never return state the TLB no longer
+     * holds.
+     */
+    std::uint64_t epoch() const { return epoch_; }
 
     /** Count a lookup outcome (maintained by the MMU). */
     void countHit() { ++hits_; }
     void countMiss() { ++misses_; }
 
   private:
-    std::size_t capacity_;
-    std::unordered_map<TlbKey, TlbEntry, TlbKeyHash> map_;
-    std::deque<TlbKey> fifo_;
+    struct Slot
+    {
+        TlbKey key{};
+        TlbEntry entry{};
+        /** Valid iff globalGen == Tlb::globalGen_ and vmidGen ==
+         *  Tlb::vmidGen_[key.vmid]. Zero-initialized slots are invalid
+         *  because globalGen_ starts at 1 and only increments. */
+        std::uint64_t globalGen = 0;
+        std::uint64_t vmidGen = 0;
+    };
+
+    bool
+    valid(const Slot &s) const
+    {
+        return s.globalGen == globalGen_ && s.vmidGen == vmidGen_[s.key.vmid];
+    }
+
+    std::size_t setIndex(Addr vpage) const
+    {
+        return (vpage >> kPageShift) & setMask_;
+    }
+
+    std::size_t numSets_;
+    std::size_t ways_;
+    std::size_t setMask_;
+    std::vector<Slot> slots_;           //!< set-major, numSets_ * ways_
+    std::vector<std::uint8_t> nextWay_; //!< per-set FIFO replacement cursor
+    std::uint64_t globalGen_ = 1;
+    std::array<std::uint64_t, 256> vmidGen_{};
+    std::uint64_t epoch_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -65,7 +65,7 @@ Highvisor::handleDataAbort(ArmCpu &cpu, VCpu &vcpu, const Hsr &hsr)
     if (vcpu.vm().stage2().isGuestRam(ipa)) {
         // Stage-2 page fault on normal memory: allocate through the host
         // kernel (get_user_pages) and map it — paper §3.3.
-        vcpu.stats.counter("fault.stage2").inc();
+        vcpu.hotStats.faultStage2.inc(vcpu.stats, "fault.stage2");
         cpu.compute(host::Mm::kGetUserPagesCost);
         vcpu.vm().stage2().handleRamFault(ipa);
         return;
@@ -79,6 +79,9 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
 {
     const KvmConfig &cfg = kvm_.config();
     cpu.compute(cfg.mmioFaultCost);
+    KVMARM_TRACE(Debug, "cpu%u: MMIO %s at ipa %#llx", cpu.id(),
+                 hsr.isWrite ? "write" : "read",
+                 static_cast<unsigned long long>(ipa));
 
     if (!hsr.isv) {
         // The instruction did not populate the syndrome register; load
@@ -87,7 +90,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
             panic("highvisor: MMIO at %#llx without syndrome and decode "
                   "support disabled", static_cast<unsigned long long>(ipa));
         }
-        vcpu.stats.counter("mmio.decoded").inc();
+        vcpu.hotStats.mmioDecoded.inc(vcpu.stats, "mmio.decoded");
         cpu.compute(cfg.mmioDecodeCost);
     }
 
@@ -100,7 +103,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
         Addr off = ipa - ArmMachine::kGicdBase;
         std::uint64_t result = 0;
         if (cfg.useVgic) {
-            vcpu.stats.counter("mmio.vdist").inc();
+            vcpu.hotStats.mmioVdist.inc(vcpu.stats, "mmio.vdist");
             result = vdist.handleMmio(cpu, vcpu, off, hsr.isWrite,
                                       hsr.sysValue, hsr.accessLen);
         } else {
@@ -141,7 +144,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
     // In-kernel emulated devices (KVM_CREATE_DEVICE-shaped).
     Addr dev_off = 0;
     if (auto *handler = vcpu.vm().kernelDeviceAt(ipa, dev_off)) {
-        vcpu.stats.counter("mmio.kernel").inc();
+        vcpu.hotStats.mmioKernel.inc(vcpu.stats, "mmio.kernel");
         std::uint64_t result =
             (*handler)(hsr.isWrite, dev_off, hsr.sysValue, hsr.accessLen);
         cpu.completeMmio(result);
@@ -149,7 +152,7 @@ Highvisor::handleMmio(ArmCpu &cpu, VCpu &vcpu, Addr ipa, const Hsr &hsr)
     }
 
     // Everything else exits to user space (QEMU), paper §3.4.
-    vcpu.stats.counter("mmio.user").inc();
+    vcpu.hotStats.mmioUser.inc(vcpu.stats, "mmio.user");
     MmioExit exit;
     exit.ipa = ipa;
     exit.isWrite = hsr.isWrite;
@@ -176,7 +179,7 @@ Highvisor::handleWfi(ArmCpu &cpu, VCpu &vcpu)
     // Block the VCPU thread on the host scheduler until a virtual
     // interrupt is deliverable (paper §3.2: WFI "should only be performed
     // by the hypervisor to maintain control of the hardware").
-    vcpu.stats.counter("emul.wfi").inc();
+    vcpu.hotStats.emulWfi.inc(vcpu.stats, "emul.wfi");
     vcpu.blocked = true;
     VgicDistEmul &vdist = vcpu.vm().vdist();
     kvm_.host().blockUntil(cpu, [&] {
@@ -191,7 +194,7 @@ void
 Highvisor::handleSysTrap(ArmCpu &cpu, VCpu &vcpu, const Hsr &hsr)
 {
     auto op = static_cast<SensitiveOp>(hsr.iss);
-    vcpu.stats.counter("emul.sysreg").inc();
+    vcpu.hotStats.emulSysreg.inc(vcpu.stats, "emul.sysreg");
     switch (op) {
       case SensitiveOp::ActlrRead:
         cpu.setTrappedReadValue(vcpu.shadowActlr);
@@ -232,7 +235,7 @@ Highvisor::handleHvc(ArmCpu &cpu, VCpu &vcpu, const Hsr &hsr)
     switch (hsr.iss) {
       case hvc::kTestHypercall:
         // Table 3 "Hypercall": two world switches and no work.
-        vcpu.stats.counter("emul.hypercall").inc();
+        vcpu.hotStats.emulHypercall.inc(vcpu.stats, "emul.hypercall");
         return;
       case hvc::kPsciOff:
         // PSCI SYSTEM_OFF: request every VCPU of the VM to stop.

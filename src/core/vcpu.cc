@@ -39,7 +39,8 @@ VCpu::run(ArmCpu &cpu, const std::function<void(ArmCpu &)> &guest_main)
     // Final exit back to the host.
     cpu.hvc(hvc::kStopVcpu);
 
-    stats.counter("residency.cycles").inc(cpu.now() - entered);
+    hotStats.residencyCycles.inc(stats, "residency.cycles",
+                                 cpu.now() - entered);
 }
 
 VcpuState

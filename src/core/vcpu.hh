@@ -9,8 +9,10 @@
 #ifndef KVMARM_CORE_VCPU_HH
 #define KVMARM_CORE_VCPU_HH
 
+#include <array>
 #include <functional>
 
+#include "arm/hsr.hh"
 #include "arm/modes.hh"
 #include "arm/registers.hh"
 #include "arm/timer.hh"
@@ -112,6 +114,29 @@ class VCpu
 
     /** Per-VCPU statistics: exit counts by reason, residency cycles. */
     StatGroup stats;
+
+    /**
+     * Call-site caches for the counters bumped on every exit / world
+     * switch (see CachedCounter). Grouped so the lowvisor, world switch
+     * and highvisor can share them without each growing its own table.
+     */
+    struct HotStats
+    {
+        std::array<CachedCounter, arm::kNumExcClasses> exitByClass;
+        CachedCounter exitTraponly;
+        CachedCounter exitFp;
+        CachedCounter worldSwitchIn;
+        CachedCounter worldSwitchOut;
+        CachedCounter residencyCycles;
+        CachedCounter faultStage2;
+        CachedCounter mmioDecoded;
+        CachedCounter mmioKernel;
+        CachedCounter mmioUser;
+        CachedCounter mmioVdist;
+        CachedCounter emulWfi;
+        CachedCounter emulSysreg;
+        CachedCounter emulHypercall;
+    } hotStats;
 
   private:
     Vm &vm_;

@@ -243,7 +243,9 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     //      the end of the current Hyp trap.
     cpu.setOsVectors(vcpu.guestOs);
     cpu.setHypReturn(vcpu.guestMode, vcpu.guestIrqMasked);
-    vcpu.stats.counter("worldswitch.in").inc();
+    vcpu.hotStats.worldSwitchIn.inc(vcpu.stats, "worldswitch.in");
+    KVMARM_TRACE(Debug, "cpu%u: world switch in (vcpu %u)", cpu.id(),
+                 vcpu.index());
     KVMARM_CHECK(worldSwitchEnd(&cpu.machine(), cpu.id(),
                                 check::SwitchDir::ToVm, cpu.hyp()));
 }
@@ -328,7 +330,9 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
     // (9) Trap into kernel mode.
     cpu.setOsVectors(&kvm_.host());
     cpu.setHypReturn(Mode::Svc, false);
-    vcpu.stats.counter("worldswitch.out").inc();
+    vcpu.hotStats.worldSwitchOut.inc(vcpu.stats, "worldswitch.out");
+    KVMARM_TRACE(Debug, "cpu%u: world switch out (vcpu %u)", cpu.id(),
+                 vcpu.index());
     KVMARM_CHECK(worldSwitchEnd(&cpu.machine(), cpu.id(),
                                 check::SwitchDir::ToHost, cpu.hyp()));
 }

@@ -1,5 +1,7 @@
 #include "mem/bus.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace kvmarm {
@@ -17,7 +19,11 @@ Bus::addDevice(Addr base, Addr size, MmioDevice *dev)
                   r.dev->name().c_str());
         }
     }
-    regions_.push_back({base, size, dev});
+    auto pos = std::upper_bound(
+        regions_.begin(), regions_.end(), base,
+        [](Addr b, const Region &r) { return b < r.base; });
+    regions_.insert(pos, {base, size, dev});
+    lastRegion_.clear(); // insertion moved the Region objects
 }
 
 bool
@@ -29,11 +35,32 @@ Bus::isRam(Addr pa, unsigned len) const
 const Bus::Region *
 Bus::regionAt(Addr pa) const
 {
-    for (const Region &r : regions_) {
-        if (pa >= r.base && pa < r.base + r.size)
-            return &r;
+    // regions_ is sorted by base and non-overlapping: the only candidate is
+    // the last region starting at or below pa.
+    auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), pa,
+        [](Addr a, const Region &r) { return a < r.base; });
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    return pa - it->base < it->size ? &*it : nullptr;
+}
+
+const Bus::Region *
+Bus::regionFor(CpuId cpu, Addr pa) const
+{
+    if (cpu < lastRegion_.size()) {
+        const Region *r = lastRegion_[cpu];
+        if (r && pa >= r->base && pa - r->base < r->size)
+            return r;
     }
-    return nullptr;
+    const Region *r = regionAt(pa);
+    if (r) {
+        if (cpu >= lastRegion_.size())
+            lastRegion_.resize(cpu + 1, nullptr);
+        lastRegion_[cpu] = r;
+    }
+    return r;
 }
 
 MmioDevice *
@@ -43,14 +70,14 @@ Bus::deviceAt(Addr pa) const
     return r ? r->dev : nullptr;
 }
 
-Addr
+std::optional<Addr>
 Bus::regionBase(const MmioDevice *dev) const
 {
     for (const Region &r : regions_) {
         if (r.dev == dev)
             return r.base;
     }
-    return 0;
+    return std::nullopt;
 }
 
 BusAccess
@@ -58,7 +85,7 @@ Bus::read(CpuId cpu, Addr pa, unsigned len)
 {
     if (isRam(pa, len))
         return {ram_.read(pa, len), kRamLatency, true};
-    if (const Region *r = regionAt(pa)) {
+    if (const Region *r = regionFor(cpu, pa)) {
         std::uint64_t v = r->dev->read(cpu, pa - r->base, len);
         return {v, r->dev->accessLatency(), true};
     }
@@ -72,7 +99,7 @@ Bus::write(CpuId cpu, Addr pa, std::uint64_t value, unsigned len)
         ram_.write(pa, value, len);
         return {0, kRamLatency, true};
     }
-    if (const Region *r = regionAt(pa)) {
+    if (const Region *r = regionFor(cpu, pa)) {
         r->dev->write(cpu, pa - r->base, value, len);
         return {0, r->dev->accessLatency(), true};
     }

@@ -13,6 +13,7 @@
 #define KVMARM_MEM_BUS_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,8 +76,8 @@ class Bus
     /** Device covering @p pa, or nullptr. */
     MmioDevice *deviceAt(Addr pa) const;
 
-    /** Base address of the region owned by @p dev, or 0 if unregistered. */
-    Addr regionBase(const MmioDevice *dev) const;
+    /** Base address of the region owned by @p dev, if registered. */
+    std::optional<Addr> regionBase(const MmioDevice *dev) const;
 
     /** Perform a physical read. */
     BusAccess read(CpuId cpu, Addr pa, unsigned len);
@@ -99,9 +100,18 @@ class Bus
     };
 
     const Region *regionAt(Addr pa) const;
+    const Region *regionFor(CpuId cpu, Addr pa) const;
 
     PhysMem &ram_;
-    std::vector<Region> regions_;
+    std::vector<Region> regions_; //!< sorted by base (addDevice keeps order)
+
+    /**
+     * Last region each CPU decoded to. CPUs poll the same device registers
+     * (GIC, timer) in long runs, so this usually short-circuits the binary
+     * search with one range check. Cleared whenever a device is added
+     * (push_back moves the Region objects).
+     */
+    mutable std::vector<const Region *> lastRegion_;
 };
 
 } // namespace kvmarm

@@ -31,19 +31,30 @@ PhysMem::Page &
 PhysMem::pageFor(Addr pa)
 {
     Addr frame = pageAlignDown(pa);
+    if (frame == cachedFrame_)
+        return *cachedPage_;
     auto &slot = pages_[frame];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cachedFrame_ = frame;
+    cachedPage_ = slot.get();
     return *slot;
 }
 
 const PhysMem::Page *
 PhysMem::pageForRead(Addr pa) const
 {
-    auto it = pages_.find(pageAlignDown(pa));
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr frame = pageAlignDown(pa);
+    if (frame == cachedFrame_)
+        return cachedPage_;
+    auto it = pages_.find(frame);
+    if (it == pages_.end())
+        return nullptr;
+    cachedFrame_ = frame;
+    cachedPage_ = it->second.get();
+    return it->second.get();
 }
 
 std::uint64_t
@@ -51,6 +62,12 @@ PhysMem::read(Addr pa, unsigned len) const
 {
     checkRange(pa, len);
     std::uint64_t v = 0;
+    if ((pa & (len - 1)) == 0) {
+        // Naturally aligned: cannot cross a page, skip the block loop.
+        if (const Page *pg = pageForRead(pa))
+            std::memcpy(&v, pg->data() + (pa & (kPageSize - 1)), len);
+        return v;
+    }
     readBlock(pa, &v, len);
     return v;
 }
@@ -59,6 +76,10 @@ void
 PhysMem::write(Addr pa, std::uint64_t value, unsigned len)
 {
     checkRange(pa, len);
+    if ((pa & (len - 1)) == 0) {
+        std::memcpy(pageFor(pa).data() + (pa & (kPageSize - 1)), &value, len);
+        return;
+    }
     writeBlock(pa, &value, len);
 }
 

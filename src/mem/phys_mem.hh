@@ -64,6 +64,17 @@ class PhysMem
     Addr base_;
     Addr size_;
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /**
+     * Last page touched: accesses cluster heavily (code fetch, stack, the
+     * active buffer), so this turns most hash lookups into one compare.
+     * Pages live as long as the PhysMem and never move (they are separate
+     * heap allocations owned by the map), so a cached pointer stays good
+     * forever; only materialized pages are cached, so it can't go stale
+     * the other way either.
+     */
+    mutable Addr cachedFrame_ = ~static_cast<Addr>(0);
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace kvmarm

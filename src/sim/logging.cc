@@ -7,8 +7,28 @@
 namespace kvmarm {
 
 namespace {
+
 bool informEnabled = true;
+
+TraceLevel
+traceLevelFromEnv()
+{
+    const char *env = std::getenv("KVMARM_TRACE");
+    if (!env)
+        return TraceLevel::Off;
+    std::string v(env);
+    if (v == "debug" || v == "2")
+        return TraceLevel::Debug;
+    if (v == "info" || v == "1")
+        return TraceLevel::Info;
+    return TraceLevel::Off;
+}
+
 } // namespace
+
+namespace detail {
+TraceLevel traceLevel = traceLevelFromEnv();
+} // namespace detail
 
 std::string
 vstrfmt(const char *fmt, std::va_list ap)
@@ -81,6 +101,28 @@ void
 setInformEnabled(bool enabled)
 {
     informEnabled = enabled;
+}
+
+TraceLevel
+traceLevel()
+{
+    return detail::traceLevel;
+}
+
+void
+setTraceLevel(TraceLevel lv)
+{
+    detail::traceLevel = lv;
+}
+
+void
+traceMsg(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "trace: %s\n", msg.c_str());
 }
 
 } // namespace kvmarm

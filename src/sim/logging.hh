@@ -46,6 +46,48 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Enable or disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
 
+/// @name Leveled trace logging
+///
+/// Diagnostics that live on simulation hot paths (world switches, traps,
+/// MMIO dispatch). The KVMARM_TRACE macro checks the level inline before
+/// evaluating or formatting any argument, so a disabled trace point costs
+/// one predictable branch — never a string format or a function call.
+/// Enable with setTraceLevel() or the KVMARM_TRACE environment variable
+/// ("info" or "debug").
+/// @{
+
+enum class TraceLevel : int
+{
+    Off = 0,
+    Info = 1,
+    Debug = 2,
+};
+
+namespace detail {
+/** Current level; read directly by KVMARM_TRACE's inline check. */
+extern TraceLevel traceLevel;
+} // namespace detail
+
+inline bool
+traceEnabled(TraceLevel lv)
+{
+    return static_cast<int>(lv) <= static_cast<int>(detail::traceLevel);
+}
+
+TraceLevel traceLevel();
+void setTraceLevel(TraceLevel lv);
+
+/** Emit one trace line (already known to be enabled). */
+void traceMsg(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define KVMARM_TRACE(level, ...)                                       \
+    do {                                                               \
+        if (kvmarm::traceEnabled(kvmarm::TraceLevel::level))           \
+            kvmarm::traceMsg(__VA_ARGS__);                             \
+    } while (0)
+
+/// @}
+
 } // namespace kvmarm
 
 #endif // KVMARM_SIM_LOGGING_HH

@@ -48,6 +48,42 @@ class Scalar
     double max_ = 0.0;
 };
 
+class StatGroup;
+
+/**
+ * A call-site cache for one StatGroup counter. Hot paths bump the same
+ * named counter millions of times; resolving the name each time costs a
+ * string construction and a map walk. Holding a CachedCounter next to the
+ * group turns that into a null check plus an increment: the name is
+ * resolved once and the Counter pointer kept (map nodes never move).
+ * The counter is still created only when first bumped, so stat dumps are
+ * unchanged for paths never taken.
+ */
+class CachedCounter
+{
+  public:
+    /** Bump by @p n, resolving @p name in @p group on first use. */
+    void inc(StatGroup &group, const char *name, std::uint64_t n = 1);
+
+    /**
+     * Bump by @p n; @p make_name() produces the name and is only invoked
+     * on the first bump (for names composed at the call site).
+     */
+    template <typename NameFn>
+    void
+    inc(StatGroup &group, NameFn &&make_name, std::uint64_t n = 1)
+    {
+        if (!counter_)
+            resolve(group, make_name());
+        counter_->inc(n);
+    }
+
+  private:
+    void resolve(StatGroup &group, const std::string &name);
+
+    Counter *counter_ = nullptr;
+};
+
 /**
  * A registry of named counters and scalars. Subsystems hold a StatGroup and
  * name their stats hierarchically ("cpu0.traps.wfi").
@@ -77,6 +113,20 @@ class StatGroup
     std::map<std::string, Counter> counters_;
     std::map<std::string, Scalar> scalars_;
 };
+
+inline void
+CachedCounter::inc(StatGroup &group, const char *name, std::uint64_t n)
+{
+    if (!counter_)
+        resolve(group, name);
+    counter_->inc(n);
+}
+
+inline void
+CachedCounter::resolve(StatGroup &group, const std::string &name)
+{
+    counter_ = &group.counter(name);
+}
 
 } // namespace kvmarm
 

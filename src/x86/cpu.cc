@@ -148,7 +148,7 @@ X86Cpu::hlt()
         vmexit(info);
         return;
     }
-    stats_.counter("hlt.native").inc();
+    statHltNative_.inc(stats_, "hlt.native");
     std::uint64_t before = interruptsTaken_;
     waitUntil([this, before] {
         return interruptPending() || interruptsTaken_ > before;
@@ -215,8 +215,9 @@ X86Cpu::vmexit(const ExitInfo &info)
 {
     if (!vmxHandler_)
         panic("x86 cpu%u: vmexit with no handler", id_);
-    stats_.counter(std::string("vmexit.") + exitReasonName(info.reason))
-        .inc();
+    statVmexit_[static_cast<std::size_t>(info.reason)].inc(
+        stats_,
+        [&] { return std::string("vmexit.") + exitReasonName(info.reason); });
     const X86CostModel &cm = machine_.cost();
 
     // Hardware saves the guest state and loads host state.
@@ -309,7 +310,7 @@ X86Cpu::serviceInterrupts()
         if (nonRoot_ && vmcs_.injectVector && ifFlag_ && osVectors_) {
             std::uint8_t vec = vmcs_.injectVector;
             vmcs_.injectVector = 0;
-            stats_.counter("irq.injected").inc();
+            statIrqInjected_.inc(stats_, "irq.injected");
             takeInterrupt(vec);
             continue;
         }

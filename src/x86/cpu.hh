@@ -10,6 +10,8 @@
 #ifndef KVMARM_X86_CPU_HH
 #define KVMARM_X86_CPU_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -33,6 +35,10 @@ enum class ExitReason : std::uint8_t
     ApicAccess, //!< APIC-access page: offset known, value needs decode
     MsrWrite,   //!< WRMSR (TSC-deadline timer); value in registers
 };
+
+/** Number of ExitReason values (for per-reason counter tables). */
+inline constexpr std::size_t kNumExitReasons =
+    static_cast<std::size_t>(ExitReason::MsrWrite) + 1;
 
 const char *exitReasonName(ExitReason r);
 
@@ -196,6 +202,11 @@ class X86Cpu : public CpuBase
     X86OsVectors *hostOs_ = nullptr;
     bool hostUserMode_ = false;
     bool hostIf_ = false;
+
+    /// Call-site caches for counters bumped on every VM exit.
+    std::array<CachedCounter, kNumExitReasons> statVmexit_;
+    CachedCounter statHltNative_;
+    CachedCounter statIrqInjected_;
 };
 
 } // namespace kvmarm::x86

@@ -242,5 +242,77 @@ TEST_F(MmuTest, TlbiVaDropsOneTranslation)
         0u); // still cached
 }
 
+TEST_F(MmuTest, MicroTlbInvisibleAfterRemap)
+{
+    // The one-entry micro-TLB in front of the main lookup must never serve
+    // a translation the main TLB would no longer produce: remap a page
+    // that was just accessed (so it sits in the micro entry), invalidate,
+    // and check the new frame is returned.
+    auto ed = editorFor(PtFormat::KernelLpae);
+    Addr root = ed.newRoot();
+    Perms p;
+    p.user = true;
+    ed.map(root, 0x00400000, ArmMachine::kRamBase, p);
+    enableS1(root);
+
+    // Two back-to-back accesses: the second is served by the micro entry.
+    ASSERT_EQ(cpu().mmu().translate(0x00400000, Access::Read, Mode::Svc).pa,
+              ArmMachine::kRamBase);
+    ASSERT_EQ(cpu().mmu().translate(0x00400010, Access::Read, Mode::Svc).pa,
+              ArmMachine::kRamBase + 0x10);
+
+    ed.map(root, 0x00400000, ArmMachine::kRamBase + 0x3000, p);
+    cpu().tlbiVa(0x00400000);
+
+    TranslateResult r =
+        cpu().mmu().translate(0x00400000, Access::Read, Mode::Svc);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.pa, ArmMachine::kRamBase + 0x3000);
+    EXPECT_GT(r.cost, 0u); // walked: nothing cached survived the TLBI
+}
+
+TEST_F(MmuTest, MicroTlbInvisibleAfterFlushAll)
+{
+    auto ed = editorFor(PtFormat::KernelLpae);
+    Addr root = ed.newRoot();
+    Perms p;
+    p.user = true;
+    ed.map(root, 0x00400000, ArmMachine::kRamBase, p);
+    enableS1(root);
+
+    cpu().mmu().translate(0x00400000, Access::Read, Mode::Svc);
+    cpu().mmu().translate(0x00400020, Access::Read, Mode::Svc);
+
+    cpu().mmu().tlb().flushAll();
+    EXPECT_GT(
+        cpu().mmu().translate(0x00400000, Access::Read, Mode::Svc).cost,
+        0u); // full walk, not a stale micro hit
+}
+
+TEST_F(MmuTest, MicroTlbKeepsHitMissCountersExact)
+{
+    // Hit/miss accounting must be identical whether a translation is
+    // served by the micro entry or the main array.
+    auto ed = editorFor(PtFormat::KernelLpae);
+    Addr root = ed.newRoot();
+    Perms p;
+    p.user = true;
+    ed.map(root, 0x00400000, ArmMachine::kRamBase, p);
+    ed.map(root, 0x00401000, ArmMachine::kRamBase + 0x1000, p);
+    enableS1(root);
+
+    Tlb &tlb = cpu().mmu().tlb();
+    std::uint64_t h0 = tlb.hits(), m0 = tlb.misses();
+
+    cpu().mmu().translate(0x00400000, Access::Read, Mode::Svc); // miss
+    cpu().mmu().translate(0x00400004, Access::Read, Mode::Svc); // hit
+    cpu().mmu().translate(0x00400008, Access::Read, Mode::Svc); // hit
+    cpu().mmu().translate(0x00401000, Access::Read, Mode::Svc); // miss
+    cpu().mmu().translate(0x00400000, Access::Read, Mode::Svc); // hit
+
+    EXPECT_EQ(tlb.hits() - h0, 3u);
+    EXPECT_EQ(tlb.misses() - m0, 2u);
+}
+
 } // namespace
 } // namespace kvmarm::arm

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "mem/bus.hh"
 #include "sim/logging.hh"
 
@@ -88,10 +91,35 @@ TEST_F(BusTest, RejectsOverlappingRegions)
 
 TEST_F(BusTest, RegionBaseLookup)
 {
+    ScratchDev unregistered;
+    EXPECT_EQ(bus.regionBase(&unregistered), std::nullopt);
     bus.addDevice(0x09000000, 0x1000, &dev);
-    EXPECT_EQ(bus.regionBase(&dev), 0x09000000u);
+    ASSERT_TRUE(bus.regionBase(&dev).has_value());
+    EXPECT_EQ(*bus.regionBase(&dev), 0x09000000u);
+    EXPECT_EQ(bus.regionBase(&unregistered), std::nullopt);
     EXPECT_EQ(bus.deviceAt(0x09000FFF), &dev);
     EXPECT_EQ(bus.deviceAt(0x09001000), nullptr);
+}
+
+TEST_F(BusTest, ManyRegionsDecodeCorrectly)
+{
+    // Registered out of order; the bus keeps its table sorted for binary
+    // search, so decode must still land on the right device.
+    std::vector<std::unique_ptr<ScratchDev>> devs;
+    for (int i = 7; i >= 0; --i) {
+        devs.push_back(std::make_unique<ScratchDev>());
+        bus.addDevice(0x09000000 + Addr(i) * 0x10000, 0x1000,
+                      devs.back().get());
+    }
+    for (int i = 0; i < 8; ++i) {
+        Addr base = 0x09000000 + Addr(i) * 0x10000;
+        EXPECT_EQ(bus.deviceAt(base), devs[7 - i].get());
+        EXPECT_EQ(bus.deviceAt(base + 0xFFF), devs[7 - i].get());
+        EXPECT_EQ(bus.deviceAt(base + 0x1000), nullptr);
+        ASSERT_TRUE(bus.regionBase(devs[7 - i].get()).has_value());
+        EXPECT_EQ(*bus.regionBase(devs[7 - i].get()), base);
+    }
+    EXPECT_EQ(bus.deviceAt(0x08FFFFFF), nullptr);
 }
 
 } // namespace

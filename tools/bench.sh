@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerate the BENCH_*.json trajectory at the repo root.
+#
+#   tools/bench.sh              build + run every bench
+#   tools/bench.sh host_tput    run one bench by name
+#
+# host_tput writes BENCH_host_tput.json itself (preserving the recorded
+# pre-optimization baseline section; pass --rebaseline through REBASE=1).
+# The google-benchmark benches emit their JSON via --benchmark_out.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+BUILD=${BUILD:-build}
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j"$JOBS" --target \
+    host_tput table1_state table3_micro table4_loc \
+    fig3_lmbench_up fig4_lmbench_smp fig5_apps_up fig6_apps_smp \
+    fig7_energy ablation_split_mode ablation_vgic ablation_ipi \
+    ablation_lazy_fpu >/dev/null
+
+selected=${*:-all}
+
+run_gbench() { # <name>
+    local name=$1
+    if [ "$selected" != all ] && [[ " $* " != *" $name "* ]] &&
+        [[ " $selected " != *" $name "* ]]; then
+        return 0
+    fi
+    echo "==== bench: $name ===="
+    "$BUILD/bench/$name" \
+        --benchmark_out="BENCH_$name.json" --benchmark_out_format=json
+}
+
+if [ "$selected" = all ] || [[ " $selected " == *" host_tput "* ]]; then
+    echo "==== bench: host_tput ===="
+    "$BUILD/bench/host_tput" ${REBASE:+--rebaseline} \
+        --out BENCH_host_tput.json
+fi
+
+for b in table1_state table3_micro table4_loc fig3_lmbench_up \
+    fig4_lmbench_smp fig5_apps_up fig6_apps_smp fig7_energy \
+    ablation_split_mode ablation_vgic ablation_ipi ablation_lazy_fpu; do
+    run_gbench "$b"
+done
+
+echo "==== bench: done ===="

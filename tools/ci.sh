@@ -7,6 +7,7 @@
 #   asan       AddressSanitizer + UBSan, whole test suite
 #   enforce    release binaries, whole suite under KVMARM_CHECK=enforce
 #   nochecks   KVMARM_INVARIANTS=OFF compile check (hooks compile away)
+#   bench      host_tput --smoke + table3_micro vs the committed golden
 #   lint       clang-tidy (or strict-GCC fallback) on changed files
 #   format     tools/format.sh --check
 set -eu
@@ -48,6 +49,19 @@ leg_nochecks() {
     run_suite build-ci-nochecks
 }
 
+leg_bench() {
+    # Wall-clock fast paths must not disturb simulated cycle attribution:
+    # smoke-run the throughput bench, then re-run the Table 3 bench and
+    # require its cycle table to match the committed golden output exactly.
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-ci-release -j"$JOBS" --target host_tput table3_micro
+    build-ci-release/bench/host_tput --smoke
+    build-ci-release/bench/table3_micro 2>/dev/null | sed -n '/===/,$p' \
+        > build-ci-release/table3_micro.out
+    diff -u bench/golden/table3_micro.txt build-ci-release/table3_micro.out
+    echo "table3_micro matches golden cycle counts"
+}
+
 leg_lint() {
     tools/lint.sh --changed
 }
@@ -56,7 +70,7 @@ leg_format() {
     tools/format.sh --check
 }
 
-legs=${*:-release asan enforce nochecks lint format}
+legs=${*:-release asan enforce nochecks bench lint format}
 for leg in $legs; do
     echo "==== ci leg: $leg ===="
     "leg_$leg"
