@@ -9,7 +9,7 @@
 namespace kvmarm::check {
 
 namespace detail {
-bool gActive = false;
+std::atomic<bool> gActive{false};
 
 /** Construct the engine at startup so the KVMARM_CHECK environment
  *  variable takes effect before any hook site consults gActive. */
@@ -74,13 +74,16 @@ InvariantEngine::instance()
 void
 InvariantEngine::setMode(CheckMode m)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     mode_ = m;
-    detail::gActive = mode_ != CheckMode::Off && !rules_.empty();
+    detail::gActive.store(mode_ != CheckMode::Off && !rules_.empty(),
+                          std::memory_order_relaxed);
 }
 
 void
 InvariantEngine::addRule(std::unique_ptr<InvariantRule> rule)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     rules_.push_back(std::move(rule));
     setMode(mode_); // refresh the fast-path gate
 }
@@ -88,6 +91,7 @@ InvariantEngine::addRule(std::unique_ptr<InvariantRule> rule)
 void
 InvariantEngine::reset()
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     violations_.clear();
     for (auto &rule : rules_)
         rule->reset();
@@ -96,6 +100,7 @@ InvariantEngine::reset()
 std::size_t
 InvariantEngine::violationCount(const std::string &rule) const
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     std::size_t n = 0;
     for (const Violation &v : violations_)
         n += v.rule == rule;
@@ -105,6 +110,7 @@ InvariantEngine::violationCount(const std::string &rule) const
 void
 InvariantEngine::report(const InvariantRule &rule, std::string detail)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     violations_.push_back(Violation{rule.name(), std::move(detail)});
     const Violation &v = violations_.back();
     if (mode_ == CheckMode::Enforce) {
@@ -117,6 +123,7 @@ InvariantEngine::report(const InvariantRule &rule, std::string detail)
 void
 InvariantEngine::hypAccess(CpuId cpu, arm::Mode mode, const char *reg)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     HypAccessEvent ev{cpu, mode, reg};
     for (auto &rule : rules_)
         rule->onHypAccess(*this, ev);
@@ -126,6 +133,7 @@ void
 InvariantEngine::modeChange(const void *domain, CpuId cpu, arm::Mode from,
                             arm::Mode to, bool stage2_on)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     ModeChangeEvent ev{domain, cpu, from, to, stage2_on};
     for (auto &rule : rules_)
         rule->onModeChange(*this, ev);
@@ -135,6 +143,7 @@ void
 InvariantEngine::worldSwitchBegin(const void *domain, CpuId cpu,
                                   SwitchDir dir)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     WorldSwitchEvent ev{domain, cpu, dir, true, nullptr};
     for (auto &rule : rules_)
         rule->onWorldSwitch(*this, ev);
@@ -144,6 +153,7 @@ void
 InvariantEngine::worldSwitchEnd(const void *domain, CpuId cpu, SwitchDir dir,
                                 const arm::HypState &hyp)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     WorldSwitchEvent ev{domain, cpu, dir, false, &hyp};
     for (auto &rule : rules_)
         rule->onWorldSwitch(*this, ev);
@@ -153,6 +163,7 @@ void
 InvariantEngine::stateTransfer(const void *domain, CpuId cpu, StateClass cls,
                                Xfer kind)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     StateTransferEvent ev{domain, cpu, cls, kind};
     for (auto &rule : rules_)
         rule->onStateTransfer(*this, ev);
@@ -162,6 +173,7 @@ void
 InvariantEngine::stage2Map(const void *domain, std::uint16_t vmid, Addr ipa,
                            Addr pa, bool device)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     Stage2Event ev{domain, vmid, ipa, pa, device, true};
     for (auto &rule : rules_)
         rule->onStage2Update(*this, ev);
@@ -171,6 +183,7 @@ void
 InvariantEngine::stage2Unmap(const void *domain, std::uint16_t vmid,
                              Addr ipa, Addr pa)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     Stage2Event ev{domain, vmid, ipa, pa, false, false};
     for (auto &rule : rules_)
         rule->onStage2Update(*this, ev);
@@ -179,6 +192,7 @@ InvariantEngine::stage2Unmap(const void *domain, std::uint16_t vmid,
 void
 InvariantEngine::protectPage(const void *domain, Addr pa, const char *tag)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     PageGuardEvent ev{domain, pa, tag, true};
     for (auto &rule : rules_)
         rule->onPageGuard(*this, ev);
@@ -187,6 +201,7 @@ InvariantEngine::protectPage(const void *domain, Addr pa, const char *tag)
 void
 InvariantEngine::unprotectPage(const void *domain, Addr pa)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     PageGuardEvent ev{domain, pa, "", false};
     for (auto &rule : rules_)
         rule->onPageGuard(*this, ev);
@@ -196,6 +211,7 @@ void
 InvariantEngine::vgicLrWrite(CpuId cpu, unsigned idx,
                              const arm::VgicBank &bank)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     VgicLrEvent ev{cpu, idx, &bank};
     for (auto &rule : rules_)
         rule->onVgicLr(*this, ev);
@@ -204,6 +220,7 @@ InvariantEngine::vgicLrWrite(CpuId cpu, unsigned idx,
 void
 InvariantEngine::maintenanceIrq(CpuId cpu, const arm::VgicBank &bank)
 {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     MaintenanceEvent ev{cpu, &bank};
     for (auto &rule : rules_)
         rule->onMaintenance(*this, ev);

@@ -28,7 +28,9 @@
 #ifndef KVMARM_CHECK_INVARIANTS_HH
 #define KVMARM_CHECK_INVARIANTS_HH
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -198,21 +200,31 @@ class InvariantRule
 };
 
 namespace detail {
-/** Fast-path gate consulted by KVMARM_CHECK before touching the engine. */
-extern bool gActive;
+/** Fast-path gate consulted by KVMARM_CHECK before touching the engine.
+ *  Atomic so machines running on fleet worker threads can consult it
+ *  race-free; a relaxed load keeps the Off-mode cost at one branch. */
+extern std::atomic<bool> gActive;
 } // namespace detail
 
 /** True when the engine wants events (mode != Off). */
 inline bool
 engineActive()
 {
-    return detail::gActive;
+    return detail::gActive.load(std::memory_order_relaxed);
 }
 
 /**
  * The process-wide invariant engine. Instrumented code funnels events in
  * through the entry points below; the engine fans them out to every
  * registered rule.
+ *
+ * The engine is the one deliberately process-global piece of checking
+ * state (rules key their shadow state by machine/Mm domain pointer, so
+ * several machines can feed one engine). Every entry point serializes on
+ * an internal mutex: when a fleet of machines runs on multiple host
+ * threads with checking enabled, events interleave across VMs but each
+ * VM's own event stream stays ordered (one machine never leaves its
+ * thread). With the default Off mode the hooks never reach the mutex.
  */
 class InvariantEngine
 {
@@ -266,6 +278,9 @@ class InvariantEngine
   private:
     InvariantEngine();
 
+    /** Recursive because rules invoke report() while the engine holds the
+     *  lock across an event fan-out. */
+    mutable std::recursive_mutex mutex_;
     CheckMode mode_ = CheckMode::Off;
     std::vector<std::unique_ptr<InvariantRule>> rules_;
     std::vector<Violation> violations_;

@@ -2,6 +2,31 @@
 
 #include "sim/logging.hh"
 
+// ThreadSanitizer cannot see through swapcontext's raw stack switch: it
+// would keep attributing execution to the old stack and report spurious
+// races (or lose real ones). Its fiber API exists for exactly this kind of
+// user-level scheduler, so under TSan every context switch is announced
+// with __tsan_switch_to_fiber immediately before the swapcontext.
+#if defined(__SANITIZE_THREAD__)
+#define KVMARM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define KVMARM_TSAN_FIBERS 1
+#endif
+#endif
+#ifndef KVMARM_TSAN_FIBERS
+#define KVMARM_TSAN_FIBERS 0
+#endif
+
+#if KVMARM_TSAN_FIBERS
+extern "C" {
+void *__tsan_get_current_fiber(void);
+void *__tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void *fiber);
+void __tsan_switch_to_fiber(void *fiber, unsigned flags);
+}
+#endif
+
 namespace kvmarm {
 
 namespace {
@@ -13,7 +38,16 @@ Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
 {
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber()
+{
+#if KVMARM_TSAN_FIBERS
+    // Destruction happens from the scheduler context, never from inside
+    // the fiber itself, so this is never the current TSan fiber (this
+    // also covers fibers abandoned mid-run by MachineBase::requestStop).
+    if (tsanFiber_)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
+}
 
 Fiber *
 Fiber::current()
@@ -30,6 +64,9 @@ Fiber::trampoline()
     // Return to the last resumer; the context set up by swapcontext in
     // resume() is restored via uc_link being unavailable with this pattern,
     // so swap back explicitly.
+#if KVMARM_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->tsanReturn_, 0);
+#endif
     swapcontext(&self->ctx_, &self->returnCtx_);
     panic("Fiber: resumed a finished fiber");
 }
@@ -54,6 +91,12 @@ Fiber::resume()
         makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
                     0);
     }
+#if KVMARM_TSAN_FIBERS
+    if (!tsanFiber_)
+        tsanFiber_ = __tsan_create_fiber(0);
+    tsanReturn_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber_, 0);
+#endif
     swapcontext(&returnCtx_, &ctx_);
     currentFiber = prev;
 }
@@ -64,6 +107,9 @@ Fiber::yield()
     Fiber *self = currentFiber;
     if (!self)
         panic("Fiber::yield outside any fiber");
+#if KVMARM_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->tsanReturn_, 0);
+#endif
     swapcontext(&self->ctx_, &self->returnCtx_);
 }
 

@@ -60,6 +60,13 @@ class Fiber
     ucontext_t returnCtx_;
     bool started_ = false;
     bool finished_ = false;
+
+    /** ThreadSanitizer fiber contexts (always present so the layout does
+     *  not depend on the sanitizer config; only touched under TSan).
+     *  TSan cannot follow raw swapcontext stack switches, so fiber.cc
+     *  tells it about every switch via the __tsan_*_fiber interface. */
+    void *tsanFiber_ = nullptr;
+    void *tsanReturn_ = nullptr;
 };
 
 } // namespace kvmarm

@@ -1,0 +1,128 @@
+#include "sim/fleet.hh"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace kvmarm {
+
+Fleet::Fleet(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::size_t
+Fleet::add(std::string name, JobFn fn)
+{
+    if (!fn)
+        fatal("Fleet::add: job '%s' has no body", name.c_str());
+    std::size_t index = pending_.size();
+    pending_.push_back(Job{std::move(name), std::move(fn), index, 0});
+    return index;
+}
+
+bool
+Fleet::popOwn(unsigned w, Job &out)
+{
+    Worker &worker = *workers_[w];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.jobs.empty())
+        return false;
+    out = std::move(worker.jobs.front());
+    worker.jobs.pop_front();
+    return true;
+}
+
+bool
+Fleet::stealFrom(unsigned thief, Job &out)
+{
+    // Scan the other workers starting just past the thief so steal traffic
+    // spreads instead of always hammering worker 0. Victims are popped
+    // from the back: the front is what the owner takes next, so stealing
+    // the tail minimizes contention on the same job slot.
+    for (unsigned off = 1; off < threads_; ++off) {
+        Worker &victim = *workers_[(thief + off) % threads_];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.jobs.empty())
+            continue;
+        out = std::move(victim.jobs.back());
+        victim.jobs.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
+{
+    while (true) {
+        Job job;
+        bool stolen = false;
+        if (!popOwn(w, job)) {
+            if (!stealFrom(w, job))
+                break; // every deque empty: all jobs claimed
+            stolen = true;
+        }
+
+        JobResult &res = results[job.index];
+        res.name = job.name;
+        res.worker = w;
+        res.stolen = stolen;
+
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            job.fn();
+            res.ok = true;
+        } catch (const std::exception &e) {
+            res.error = e.what();
+        } catch (...) {
+            res.error = "unknown exception";
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        res.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.jobsRun;
+            stats_.jobsStolen += stolen;
+        }
+    }
+}
+
+std::vector<Fleet::JobResult>
+Fleet::run()
+{
+    std::vector<JobResult> results(pending_.size());
+    stats_ = Stats{};
+    if (pending_.empty())
+        return results;
+
+    // Deal jobs round-robin. Every job is queued before any worker starts,
+    // so workers terminate as soon as all deques run dry: no job ever
+    // appears after a worker decided to exit.
+    workers_.clear();
+    for (unsigned w = 0; w < threads_; ++w)
+        workers_.push_back(std::make_unique<Worker>());
+    for (Job &job : pending_) {
+        job.home = static_cast<unsigned>(job.index % threads_);
+        workers_[job.home]->jobs.push_back(std::move(job));
+    }
+    pending_.clear();
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        pool.emplace_back([this, w, &results] { workerMain(w, results); });
+    for (std::thread &t : pool)
+        t.join();
+
+    return results;
+}
+
+} // namespace kvmarm

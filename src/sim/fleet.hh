@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fleet executor: runs many independent machine simulations concurrently
+ * on a pool of host threads.
+ *
+ * Each job is one whole VM/machine run — the machine keeps its existing
+ * single-threaded fiber scheduler and runs to completion on exactly one
+ * worker thread, so its simulated cycle counts, stats, and event
+ * interleavings are bit-identical no matter how many host threads the
+ * fleet uses. The executor only decides *which* host thread runs *which*
+ * machine, never how a machine executes internally.
+ *
+ * Scheduling is a per-worker deque with job stealing: jobs are dealt
+ * round-robin at submission, a worker pops its own deque from the front,
+ * and a worker that runs dry steals from the back of the busiest point of
+ * another worker's deque. Heterogeneous fleets (a world-switch storm VM
+ * next to a compute-bound VM) therefore keep every host thread busy until
+ * the global queue is empty instead of idling behind a static partition.
+ */
+
+#ifndef KVMARM_SIM_FLEET_HH
+#define KVMARM_SIM_FLEET_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kvmarm {
+
+/** A pool of host threads executing machine jobs with work stealing. */
+class Fleet
+{
+  public:
+    /** A job body: typically builds a machine, sets CPU entries, and calls
+     *  machine.run(). Runs entirely on one worker thread. */
+    using JobFn = std::function<void()>;
+
+    /** Outcome of one job. */
+    struct JobResult
+    {
+        std::string name;
+        bool ok = false;
+        std::string error;      //!< exception text when !ok
+        double wallSeconds = 0; //!< host wall-clock duration of the body
+        unsigned worker = 0;    //!< worker thread that ran the job
+        bool stolen = false;    //!< ran on a worker it was not dealt to
+    };
+
+    /** Pool-level counters for one run() call. */
+    struct Stats
+    {
+        std::uint64_t jobsRun = 0;
+        std::uint64_t jobsStolen = 0;
+    };
+
+    /** @param threads Worker count; 0 means one per host hardware thread. */
+    explicit Fleet(unsigned threads);
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Queue a job for the next run(). Not thread-safe: submission happens
+     * on the owning thread before run(). Returns the job's index, which is
+     * also its slot in run()'s result vector.
+     */
+    std::size_t add(std::string name, JobFn fn);
+
+    /**
+     * Execute every queued job to completion and return per-job results in
+     * submission order. Exceptions escaping a job are captured in its
+     * JobResult rather than tearing down the fleet. The queue is consumed;
+     * add() + run() may be repeated.
+     */
+    std::vector<JobResult> run();
+
+    /** Counters from the most recent run(). */
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Job
+    {
+        std::string name;
+        JobFn fn;
+        std::size_t index; //!< submission order == result slot
+        unsigned home;     //!< worker the job was dealt to
+    };
+
+    /** One worker's deque; the mutex covers only deque operations (job
+     *  bodies run outside any lock). */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Job> jobs;
+    };
+
+    bool popOwn(unsigned w, Job &out);
+    bool stealFrom(unsigned thief, Job &out);
+    void workerMain(unsigned w, std::vector<JobResult> &results);
+
+    unsigned threads_;
+    std::vector<Job> pending_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::mutex statsMutex_;
+    Stats stats_;
+};
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_FLEET_HH

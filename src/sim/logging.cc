@@ -2,13 +2,27 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace kvmarm {
 
 namespace {
 
-bool informEnabled = true;
+std::atomic<bool> informEnabled{true};
+
+/**
+ * Serializes the actual stream writes. Machines running on fleet worker
+ * threads share stderr/stdout; each message is formatted into one string
+ * first (outside the lock) and emitted under the mutex so lines from
+ * different VMs never interleave mid-line.
+ */
+std::mutex &
+writerMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 TraceLevel
 traceLevelFromEnv()
@@ -27,7 +41,7 @@ traceLevelFromEnv()
 } // namespace
 
 namespace detail {
-TraceLevel traceLevel = traceLevelFromEnv();
+std::atomic<TraceLevel> traceLevel{traceLevelFromEnv()};
 } // namespace detail
 
 std::string
@@ -61,7 +75,10 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(writerMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     std::abort();
 }
 
@@ -82,37 +99,39 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(writerMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(writerMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 TraceLevel
 traceLevel()
 {
-    return detail::traceLevel;
+    return detail::traceLevel.load(std::memory_order_relaxed);
 }
 
 void
 setTraceLevel(TraceLevel lv)
 {
-    detail::traceLevel = lv;
+    detail::traceLevel.store(lv, std::memory_order_relaxed);
 }
 
 void
@@ -122,6 +141,7 @@ traceMsg(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(writerMutex());
     std::fprintf(stderr, "trace: %s\n", msg.c_str());
 }
 

@@ -10,6 +10,7 @@
 #ifndef KVMARM_SIM_LOGGING_HH
 #define KVMARM_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <stdexcept>
 #include <string>
@@ -64,14 +65,21 @@ enum class TraceLevel : int
 };
 
 namespace detail {
-/** Current level; read directly by KVMARM_TRACE's inline check. */
-extern TraceLevel traceLevel;
+/**
+ * Current level; read directly by KVMARM_TRACE's inline check. Initialized
+ * once from the environment before main() and otherwise only written by
+ * setTraceLevel() in single-threaded setup code (tests, bench main), so a
+ * relaxed load keeps the disabled-trace cost at one predictable branch
+ * while staying race-free when a machine fleet runs on many host threads.
+ */
+extern std::atomic<TraceLevel> traceLevel;
 } // namespace detail
 
 inline bool
 traceEnabled(TraceLevel lv)
 {
-    return static_cast<int>(lv) <= static_cast<int>(detail::traceLevel);
+    return static_cast<int>(lv) <=
+           static_cast<int>(detail::traceLevel.load(std::memory_order_relaxed));
 }
 
 TraceLevel traceLevel();

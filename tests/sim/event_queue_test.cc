@@ -82,5 +82,46 @@ TEST(EventQueue, OnScheduleHookFires)
     EXPECT_EQ(seen, 42u);
 }
 
+TEST(EventQueue, OnScheduleHookSeesEverySchedule)
+{
+    // The machine scheduler's prompt-wake guarantee rests on this hook
+    // reporting every schedule with its exact time — including times that
+    // are earlier than events already queued.
+    EventQueue q;
+    std::vector<Cycles> seen;
+    q.onSchedule = [&](Cycles when) { seen.push_back(when); };
+    q.schedule(500, [] {});
+    q.schedule(300, [] {});
+    q.schedule(400, [] {});
+    EXPECT_EQ(seen, (std::vector<Cycles>{500, 300, 400}));
+}
+
+TEST(EventQueue, OnScheduleHookNotInvokedByCancelOrRun)
+{
+    EventQueue q;
+    unsigned hooks = 0;
+    q.onSchedule = [&](Cycles) { ++hooks; };
+    auto id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(hooks, 2u);
+    q.cancel(id);
+    q.runDue(100);
+    EXPECT_EQ(hooks, 2u); // cancel and runDue are not schedules
+}
+
+TEST(EventQueue, OnScheduleHookFiresForEventScheduledByEvent)
+{
+    // A callback scheduling a follow-up (timer re-arm, IPI chain) must
+    // still announce it: the owning CPU may be mid-drain while another
+    // CPU's yield threshold depends on hearing about the new event.
+    EventQueue q;
+    std::vector<Cycles> seen;
+    q.onSchedule = [&](Cycles when) { seen.push_back(when); };
+    q.schedule(10, [&] { q.schedule(25, [] {}); });
+    q.runDue(10);
+    EXPECT_EQ(seen, (std::vector<Cycles>{10, 25}));
+    EXPECT_EQ(q.nextEventTime(), 25u);
+}
+
 } // namespace
 } // namespace kvmarm

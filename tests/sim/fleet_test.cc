@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fleet executor tests: job completion across thread counts, round-robin
+ * dealing with job stealing, error capture, and queue reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sim/fleet.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm {
+namespace {
+
+TEST(Fleet, RunsEveryJobAndKeepsSubmissionOrder)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        Fleet fleet(threads);
+        std::atomic<unsigned> ran{0};
+        for (int i = 0; i < 12; ++i) {
+            fleet.add("job" + std::to_string(i), [&ran] { ++ran; });
+        }
+        std::vector<Fleet::JobResult> results = fleet.run();
+        EXPECT_EQ(ran.load(), 12u);
+        ASSERT_EQ(results.size(), 12u);
+        for (int i = 0; i < 12; ++i) {
+            EXPECT_TRUE(results[i].ok);
+            EXPECT_EQ(results[i].name, "job" + std::to_string(i));
+            EXPECT_LT(results[i].worker, fleet.threads());
+        }
+        EXPECT_EQ(fleet.stats().jobsRun, 12u);
+    }
+}
+
+TEST(Fleet, StealsFromALoadedWorker)
+{
+    // Two workers, round-robin deal: worker 0 gets jobs 0/2/4/6, worker 1
+    // gets 1/3/5/7. Job 0 parks worker 0 until every other job has run —
+    // which can only happen if worker 1 steals worker 0's remaining jobs.
+    Fleet fleet(2);
+    std::atomic<unsigned> others{0};
+    fleet.add("long", [&others] {
+        // Parking, not sleeping: deterministic on any host core count.
+        while (others.load() < 7)
+            std::this_thread::yield();
+    });
+    for (int i = 1; i < 8; ++i)
+        fleet.add("short" + std::to_string(i), [&others] { ++others; });
+
+    std::vector<Fleet::JobResult> results = fleet.run();
+    for (const Fleet::JobResult &r : results)
+        EXPECT_TRUE(r.ok) << r.name;
+    EXPECT_EQ(fleet.stats().jobsRun, 8u);
+    // Jobs 2/4/6 were dealt to the parked worker 0; worker 1 stole them.
+    EXPECT_GE(fleet.stats().jobsStolen, 3u);
+    EXPECT_TRUE(results[2].stolen);
+    EXPECT_EQ(results[2].worker, 1u);
+}
+
+TEST(Fleet, CapturesJobExceptionsWithoutKillingTheFleet)
+{
+    Fleet fleet(2);
+    fleet.add("ok0", [] {});
+    fleet.add("boom", [] { fatal("deliberate fleet-test failure"); });
+    fleet.add("ok1", [] {});
+
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("deliberate fleet-test failure"),
+              std::string::npos);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_EQ(fleet.stats().jobsRun, 3u);
+}
+
+TEST(Fleet, ZeroThreadsMeansHardwareConcurrency)
+{
+    Fleet fleet(0);
+    EXPECT_GE(fleet.threads(), 1u);
+    bool ran = false;
+    fleet.add("probe", [&ran] { ran = true; });
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(results[0].ok);
+}
+
+TEST(Fleet, QueueMayBeRefilledAndRerun)
+{
+    Fleet fleet(2);
+    int first = 0, second = 0;
+    fleet.add("a", [&first] { ++first; });
+    EXPECT_EQ(fleet.run().size(), 1u);
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(fleet.stats().jobsRun, 1u);
+
+    fleet.add("b", [&second] { ++second; });
+    fleet.add("c", [&second] { ++second; });
+    EXPECT_EQ(fleet.run().size(), 2u);
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 2);
+    EXPECT_EQ(fleet.stats().jobsRun, 2u); // stats are per run()
+
+    EXPECT_TRUE(fleet.run().empty()); // drained queue: no-op
+}
+
+TEST(Fleet, RejectsEmptyJob)
+{
+    Fleet fleet(1);
+    EXPECT_THROW(fleet.add("hollow", Fleet::JobFn{}), FatalError);
+}
+
+TEST(Fleet, WallTimeIsMeasuredPerJob)
+{
+    Fleet fleet(1);
+    fleet.add("sleepy", [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_GE(results[0].wallSeconds, 0.015);
+}
+
+} // namespace
+} // namespace kvmarm

@@ -101,6 +101,65 @@ TEST(MachineSched, CrossCpuWakeIsPrompt)
     EXPECT_LT(wake_seen_at, 2000u + 300u + 3 * machine.quantum());
 }
 
+TEST(MachineSched, IdleFastForwardServicesCrossCpuWakesInOrder)
+{
+    // The invariant the fleet executor must not disturb: a CPU blocked in
+    // waitUntil fast-forwards its clock from event to event, servicing
+    // cross-CPU wakes in timestamp order (FIFO-stable at equal times) and
+    // never before their scheduled time — even when the events were
+    // scheduled out of order by another CPU via the onSchedule hook path.
+    ArmMachine machine(smallConfig(2));
+    arm::ArmCpu &c0 = machine.cpu(0);
+    arm::ArmCpu &c1 = machine.cpu(1);
+
+    struct Wake
+    {
+        Cycles when;    //!< requested event time
+        Cycles service; //!< cpu1's clock when the callback ran
+        unsigned seq;   //!< schedule order on cpu0
+    };
+    std::vector<Wake> wakes;
+    unsigned fired = 0;
+
+    machine.cpu(0).setEntry([&] {
+        c0.compute(100);
+        // Out-of-order schedule times, including a same-time pair whose
+        // FIFO rank is the only thing that orders them.
+        const Cycles times[] = {900, 500, 700, 700, 1400};
+        for (unsigned i = 0; i < 5; ++i) {
+            Cycles when = times[i];
+            c1.events().schedule(when, [&, when, i] {
+                wakes.push_back({when, c1.now(), i});
+                ++fired;
+            });
+        }
+        c0.compute(100);
+    });
+    machine.cpu(1).setEntry([&] {
+        c1.waitUntil([&] { return fired == 5; });
+    });
+    machine.run();
+
+    ASSERT_EQ(wakes.size(), 5u);
+    // Timestamp order, with the idle clock fast-forwarded to each event
+    // time but never past it (and never backwards).
+    const Cycles expect_when[] = {500, 700, 700, 900, 1400};
+    // The 700-cycle pair keeps its schedule order (seq 2 before seq 3).
+    const unsigned expect_seq[] = {1, 2, 3, 0, 4};
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(wakes[i].when, expect_when[i]) << "wake " << i;
+        EXPECT_EQ(wakes[i].seq, expect_seq[i]) << "wake " << i;
+        EXPECT_GE(wakes[i].service, wakes[i].when) << "wake " << i;
+        if (i > 0) {
+            EXPECT_GE(wakes[i].service, wakes[i - 1].service);
+        }
+    }
+    // Idle fast-forward jumped straight to the earliest pending event, so
+    // the first wake ran exactly at its scheduled time.
+    EXPECT_EQ(wakes[0].service, 500u);
+    EXPECT_GE(c1.idleCycles(), 400u);
+}
+
 TEST(MachineSched, DeadlockIsDetected)
 {
     ArmMachine machine(smallConfig(1));

@@ -4,18 +4,64 @@
 #   tools/bench.sh              build + run every bench
 #   tools/bench.sh host_tput    run one bench by name
 #
-# host_tput writes BENCH_host_tput.json itself (preserving the recorded
-# pre-optimization baseline section; pass --rebaseline through REBASE=1).
-# The google-benchmark benches emit their JSON via --benchmark_out.
+# host_tput and fleet_tput write their JSON themselves (preserving the
+# recorded pre-optimization baseline section; pass --rebaseline through
+# REBASE=1). The google-benchmark benches emit their JSON via
+# --benchmark_out.
+#
+# Every BENCH_*.json written here is validated before the script succeeds:
+# it must parse as JSON and carry the sections its schema promises
+# (schema_version + a non-empty "current" for the native benches, a
+# non-empty "benchmarks" array for google-benchmark output). A malformed
+# file fails the whole run instead of being committed silently.
 set -eu
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 BUILD=${BUILD:-build}
 
+validate_json() { # <file>
+    local file=$1
+    if [ ! -s "$file" ]; then
+        echo "bench.sh: $file: missing or empty" >&2
+        return 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$file" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except Exception as e:
+    sys.exit(f"bench.sh: {path}: not parseable JSON: {e}")
+if not isinstance(doc, dict):
+    sys.exit(f"bench.sh: {path}: top level is not an object")
+if "schema_version" in doc:
+    if not doc.get("current"):
+        sys.exit(f"bench.sh: {path}: missing or empty 'current' section")
+elif "benchmarks" in doc:
+    if not doc["benchmarks"]:
+        sys.exit(f"bench.sh: {path}: empty 'benchmarks' array")
+else:
+    sys.exit(
+        f"bench.sh: {path}: neither 'schema_version' (native schema) "
+        "nor 'benchmarks' (google-benchmark schema) present")
+EOF
+    else
+        # Minimal fallback: the schema marker must at least be present.
+        if ! grep -q '"schema_version"\|"benchmarks"' "$file"; then
+            echo "bench.sh: $file: no schema marker found" >&2
+            return 1
+        fi
+    fi
+}
+
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target \
-    host_tput table1_state table3_micro table4_loc \
+    host_tput fleet_tput table1_state table3_micro table4_loc \
     fig3_lmbench_up fig4_lmbench_smp fig5_apps_up fig6_apps_smp \
     fig7_energy ablation_split_mode ablation_vgic ablation_ipi \
     ablation_lazy_fpu >/dev/null
@@ -24,19 +70,27 @@ selected=${*:-all}
 
 run_gbench() { # <name>
     local name=$1
-    if [ "$selected" != all ] && [[ " $* " != *" $name "* ]] &&
-        [[ " $selected " != *" $name "* ]]; then
+    if [ "$selected" != all ] && [[ " $selected " != *" $name "* ]]; then
         return 0
     fi
     echo "==== bench: $name ===="
     "$BUILD/bench/$name" \
         --benchmark_out="BENCH_$name.json" --benchmark_out_format=json
+    validate_json "BENCH_$name.json"
 }
 
 if [ "$selected" = all ] || [[ " $selected " == *" host_tput "* ]]; then
     echo "==== bench: host_tput ===="
     "$BUILD/bench/host_tput" ${REBASE:+--rebaseline} \
         --out BENCH_host_tput.json
+    validate_json BENCH_host_tput.json
+fi
+
+if [ "$selected" = all ] || [[ " $selected " == *" fleet_tput "* ]]; then
+    echo "==== bench: fleet_tput ===="
+    "$BUILD/bench/fleet_tput" ${REBASE:+--rebaseline} \
+        --out BENCH_fleet.json
+    validate_json BENCH_fleet.json
 fi
 
 for b in table1_state table3_micro table4_loc fig3_lmbench_up \

@@ -5,9 +5,10 @@
 #
 #   release    RelWithDebInfo, default checker mode (Off at runtime)
 #   asan       AddressSanitizer + UBSan, whole test suite
+#   tsan       ThreadSanitizer, fleet executor tests + fleet smoke bench
 #   enforce    release binaries, whole suite under KVMARM_CHECK=enforce
 #   nochecks   KVMARM_INVARIANTS=OFF compile check (hooks compile away)
-#   bench      host_tput --smoke + table3_micro vs the committed golden
+#   bench      host_tput/fleet_tput --smoke + table3_micro vs the golden
 #   lint       clang-tidy (or strict-GCC fallback) on changed files
 #   format     tools/format.sh --check
 set -eu
@@ -36,6 +37,21 @@ leg_asan() {
         ASAN_OPTIONS=detect_stack_use_after_return=0
 }
 
+leg_tsan() {
+    # The fleet executor is the one place host threads run concurrently;
+    # TSan must see zero races across the worker pool, the mutexed logging
+    # writer, the invariant engine, and the annotated fiber switches.
+    # ctest selects by the sanitize-thread label tests/CMakeLists derives
+    # from KVMARM_SANITIZE.
+    cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DKVMARM_SANITIZE=thread
+    cmake --build build-ci-tsan -j"$JOBS" --target fleet_tput fleet_test
+    TSAN_OPTIONS=halt_on_error=1 \
+        ctest --test-dir build-ci-tsan --output-on-failure \
+        -L sanitize-thread -R '^Fleet'
+    TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_tput --smoke
+}
+
 leg_enforce() {
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-ci-release -j"$JOBS"
@@ -54,8 +70,10 @@ leg_bench() {
     # smoke-run the throughput bench, then re-run the Table 3 bench and
     # require its cycle table to match the committed golden output exactly.
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-ci-release -j"$JOBS" --target host_tput table3_micro
+    cmake --build build-ci-release -j"$JOBS" \
+        --target host_tput fleet_tput table3_micro
     build-ci-release/bench/host_tput --smoke
+    build-ci-release/bench/fleet_tput --smoke
     build-ci-release/bench/table3_micro 2>/dev/null | sed -n '/===/,$p' \
         > build-ci-release/table3_micro.out
     diff -u bench/golden/table3_micro.txt build-ci-release/table3_micro.out
@@ -70,7 +88,7 @@ leg_format() {
     tools/format.sh --check
 }
 
-legs=${*:-release asan enforce nochecks bench lint format}
+legs=${*:-release asan tsan enforce nochecks bench lint format}
 for leg in $legs; do
     echo "==== ci leg: $leg ===="
     "leg_$leg"
