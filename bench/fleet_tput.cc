@@ -12,10 +12,19 @@
  * enforces that itself (exit code 1 on any divergence) in addition to the
  * ctest determinism test.
  *
+ * The whole sweep then repeats under KVMARM_CHECK=enforce ("threads_N_
+ * enforce" rows): every VM job's machine builds its own private invariant
+ * engine, so the checked hot path takes no locks and enforce-mode scaling
+ * can be compared row-for-row against the unchecked sweep. The determinism
+ * gate covers the checked rows too — per-VM simulated cycles must be
+ * bit-identical across thread counts AND across off vs enforce, because
+ * the engine observes and never charges.
+ *
  * Reported per thread count: fleet wall seconds, aggregate guest-ops/sec,
- * speedup vs the 1-thread run of the same sweep, and scaling efficiency
- * (speedup / threads). host_cpus is recorded because efficiency is bounded
- * by the cores actually available, not the thread count requested.
+ * speedup vs the 1-thread run of the same sweep and mode, and scaling
+ * efficiency (speedup / threads). host_cpus is recorded because efficiency
+ * is bounded by the cores actually available, not the thread count
+ * requested.
  *
  * Output: BENCH_fleet.json, following the host_tput baseline discipline:
  * an existing "baseline" section is preserved so speedups track the
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 #include "core/kvm.hh"
 #include "host/kernel.hh"
 #include "sim/fleet.hh"
@@ -192,7 +202,8 @@ runVm(const VmSpec &spec, VmOutcome &out)
 /** One thread-count point of the sweep. */
 struct Result
 {
-    std::string name; //!< "threads_N"
+    std::string name;   //!< "threads_N" plus the mode suffix
+    std::string suffix; //!< "" (unchecked) or "_enforce"
     unsigned threads = 0;
     std::uint64_t iterations = 0; //!< total guest ops across the fleet
     double wallSeconds = 0;
@@ -203,11 +214,13 @@ struct Result
 };
 
 Result
-runFleet(const std::vector<VmSpec> &spec, unsigned threads)
+runFleet(const std::vector<VmSpec> &spec, unsigned threads,
+         const std::string &suffix = "")
 {
     Result res;
     res.threads = threads;
-    res.name = "threads_" + std::to_string(threads);
+    res.suffix = suffix;
+    res.name = "threads_" + std::to_string(threads) + suffix;
 
     Fleet fleet(threads);
     std::vector<VmOutcome> outcomes(spec.size());
@@ -237,6 +250,16 @@ runFleet(const std::vector<VmSpec> &spec, unsigned threads)
         res.simCycles += o.simCycles;
     }
     return res;
+}
+
+/** The 1-thread ops/sec of the sweep with the same mode suffix. */
+double
+opsAtOneThread(const std::vector<Result> &rows, const std::string &suffix)
+{
+    for (const Result &r : rows)
+        if (r.threads == 1 && r.suffix == suffix)
+            return r.opsPerSec;
+    return 0;
 }
 
 /**
@@ -337,6 +360,13 @@ writeJson(const std::string &path, unsigned vms,
     std::fprintf(f, "  \"bench\": \"fleet_tput\",\n");
     std::fprintf(f, "  \"schema_version\": 1,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+#if KVMARM_INVARIANTS_ENABLED
+    // Check modes swept: unsuffixed rows run unchecked, *_enforce rows
+    // run the same fleet with every machine's engine in enforce mode.
+    std::fprintf(f, "  \"kvmarm_check\": \"off,enforce\",\n");
+#else
+    std::fprintf(f, "  \"kvmarm_check\": \"disabled\",\n");
+#endif
     std::fprintf(f, "  \"fleet_size\": %u,\n", vms);
     std::fprintf(f, "  \"host_cpus\": %u,\n",
                  std::thread::hardware_concurrency());
@@ -362,8 +392,8 @@ writeJson(const std::string &path, unsigned vms,
     }
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"scaling\": {\n");
-    const double ops1 = current.front().opsPerSec;
     for (std::size_t i = 0; i < current.size(); ++i) {
+        const double ops1 = opsAtOneThread(current, current[i].suffix);
         double sp = ops1 > 0 ? current[i].opsPerSec / ops1 : 0;
         std::fprintf(f,
                      "    \"%s\": { \"speedup_vs_1t\": %.2f, "
@@ -417,16 +447,27 @@ main(int argc, char **argv)
     for (unsigned t : threadCounts)
         current.push_back(runFleet(spec, t));
 
+#if KVMARM_INVARIANTS_ENABLED
+    {
+        // Same fleet, every machine's private engine in enforce mode. The
+        // scope is opened around the whole sweep: machine engines inherit
+        // the facade's mode when each VM job constructs its machine.
+        check::ScopedCheckMode enforce(check::CheckMode::Enforce);
+        for (unsigned t : threadCounts)
+            current.push_back(runFleet(spec, t, "_enforce"));
+    }
+#endif
+
     std::printf("\n=== Fleet throughput (%u VMs, host_cpus=%u) ===\n", vms,
                 std::thread::hardware_concurrency());
-    std::printf("%-10s %12s %10s %14s %10s %10s %8s\n", "threads",
+    std::printf("%-20s %12s %10s %14s %10s %10s %8s\n", "sweep point",
                 "total ops", "wall[s]", "agg ops/sec", "speedup", "effic",
                 "stolen");
-    const double ops1 = current.front().opsPerSec;
     for (const Result &r : current) {
+        const double ops1 = opsAtOneThread(current, r.suffix);
         double sp = ops1 > 0 ? r.opsPerSec / ops1 : 0;
-        std::printf("%-10u %12llu %10.3f %14.0f %9.2fx %9.1f%% %8llu\n",
-                    r.threads,
+        std::printf("%-20s %12llu %10.3f %14.0f %9.2fx %9.1f%% %8llu\n",
+                    r.name.c_str(),
                     static_cast<unsigned long long>(r.iterations),
                     r.wallSeconds, r.opsPerSec, sp,
                     100.0 * sp / r.threads,
@@ -434,29 +475,29 @@ main(int argc, char **argv)
     }
 
     // Determinism gate: every VM's simulated cycle count must be identical
-    // at every thread count — the fleet may only change wall-clock time.
+    // at every thread count AND in every check mode — the fleet may only
+    // change wall-clock time, and the invariant engine may only observe.
     bool deterministic = true;
     for (const Result &r : current) {
         for (std::size_t v = 0; v < r.vmCycles.size(); ++v) {
             if (r.vmCycles[v] != current.front().vmCycles[v]) {
                 std::fprintf(stderr,
                              "fleet_tput: DETERMINISM VIOLATION: vm%zu "
-                             "sim_cycles %llu at %u threads vs %llu at %u "
-                             "threads\n",
+                             "sim_cycles %llu at %s vs %llu at %s\n",
                              v,
                              static_cast<unsigned long long>(r.vmCycles[v]),
-                             r.threads,
+                             r.name.c_str(),
                              static_cast<unsigned long long>(
                                  current.front().vmCycles[v]),
-                             current.front().threads);
+                             current.front().name.c_str());
                 deterministic = false;
             }
         }
     }
     if (!deterministic)
         return 1;
-    std::printf("per-VM sim_cycles bit-identical across all thread "
-                "counts\n");
+    std::printf("per-VM sim_cycles bit-identical across all thread counts "
+                "and check modes\n");
 
     if (!out.empty()) {
         std::map<std::string, Result> prior = readBaseline(out);

@@ -18,6 +18,12 @@
  * the sole recorded exception is stage2_fault's TLB-capacity overflow,
  * see EXPERIMENTS.md "Host throughput").
  *
+ * The two hook-heaviest scenarios also run as enforce-mode twins
+ * (world_switch_enforce, stage2_fault_enforce): the wall-clock delta vs
+ * the unchecked twin is the whole cost of the invariant engine on that
+ * hot path, and the bench hard-fails unless the twins' simulated cycles
+ * are bit-identical — the engine observes, it never charges.
+ *
  * Output: BENCH_host_tput.json. If the output file already holds a
  * "baseline" section it is preserved, so the committed JSON carries the
  * pre-optimization numbers forward and "speedup" tracks the trajectory.
@@ -38,6 +44,7 @@
 
 #include "arm/gic.hh"
 #include "arm/machine.hh"
+#include "check/invariants.hh"
 #include "core/kvm.hh"
 #include "host/kernel.hh"
 #include "sim/logging.hh"
@@ -79,12 +86,25 @@ struct Iters
     }
 };
 
-/** One fresh machine + host + KVM stack + 1-VCPU guest per scenario. */
+using ScenarioBody =
+    std::function<void(ArmCpu &, core::Vm &, std::uint64_t)>;
+
+/**
+ * One fresh machine + host + KVM stack + 1-VCPU guest per scenario.
+ * With @p checked the scenario runs under KVMARM_CHECK=enforce: the
+ * machine's private engine inherits the facade mode at construction, so
+ * the scope must be opened before the machine is built. Unchecked
+ * scenarios keep whatever mode the environment selected, as before.
+ */
 Result
 runScenario(const std::string &name, std::uint64_t iters,
-            const std::function<void(ArmCpu &, core::Vm &, std::uint64_t)>
-                &body)
+            const ScenarioBody &body, bool checked = false)
 {
+    std::unique_ptr<check::ScopedCheckMode> scope;
+    if (checked) {
+        scope = std::make_unique<check::ScopedCheckMode>(
+            check::CheckMode::Enforce);
+    }
     ArmMachine::Config mc;
     mc.numCpus = 1;
     mc.ramSize = 256 * kMiB;
@@ -132,6 +152,21 @@ runScenario(const std::string &name, std::uint64_t iters,
     return res;
 }
 
+/** Workloads shared between a scenario and its enforce-mode twin. */
+const ScenarioBody kWorldSwitchBody =
+    [](ArmCpu &c, core::Vm &, std::uint64_t n) {
+        c.hvc(core::hvc::kTestHypercall); // warm: settle lazy state
+        for (std::uint64_t i = 0; i < n; ++i)
+            c.hvc(core::hvc::kTestHypercall);
+    };
+
+const ScenarioBody kStage2FaultBody =
+    [](ArmCpu &c, core::Vm &vm, std::uint64_t n) {
+        const Addr base = vm.ramBase() + 0x400000;
+        for (std::uint64_t i = 0; i < n; ++i)
+            c.memRead(base + Addr(i) * kPageSize, 4);
+    };
+
 std::vector<Result>
 runAll(const Iters &it)
 {
@@ -157,21 +192,11 @@ runAll(const Iters &it)
                 c.memRead(base + Addr(i % kPages) * kPageSize, 4);
         }));
 
-    out.push_back(runScenario(
-        "world_switch", it.worldSwitch,
-        [](ArmCpu &c, core::Vm &, std::uint64_t n) {
-            c.hvc(core::hvc::kTestHypercall); // warm: settle lazy state
-            for (std::uint64_t i = 0; i < n; ++i)
-                c.hvc(core::hvc::kTestHypercall);
-        }));
+    out.push_back(
+        runScenario("world_switch", it.worldSwitch, kWorldSwitchBody));
 
-    out.push_back(runScenario(
-        "stage2_fault", it.stage2Fault,
-        [](ArmCpu &c, core::Vm &vm, std::uint64_t n) {
-            const Addr base = vm.ramBase() + 0x400000;
-            for (std::uint64_t i = 0; i < n; ++i)
-                c.memRead(base + Addr(i) * kPageSize, 4);
-        }));
+    out.push_back(
+        runScenario("stage2_fault", it.stage2Fault, kStage2FaultBody));
 
     out.push_back(runScenario(
         "mmio_kernel", it.mmioKernel,
@@ -190,7 +215,47 @@ runAll(const Iters &it)
                 c.memRead(ArmMachine::kGicdBase + arm::gicd::ISENABLER, 4);
         }));
 
+#if KVMARM_INVARIANTS_ENABLED
+    out.push_back(runScenario("world_switch_enforce", it.worldSwitch,
+                              kWorldSwitchBody, /*checked=*/true));
+    out.push_back(runScenario("stage2_fault_enforce", it.stage2Fault,
+                              kStage2FaultBody, /*checked=*/true));
+#endif
+
     return out;
+}
+
+/**
+ * Attribution gate: every *_enforce scenario must consume exactly the
+ * simulated cycles of its unchecked twin. Returns false (after printing
+ * the divergence) if checking leaked into the cost model.
+ */
+bool
+checkedCyclesMatch(const std::vector<Result> &rows)
+{
+    bool ok = true;
+    const std::string suffix = "_enforce";
+    for (const Result &r : rows) {
+        if (r.name.size() <= suffix.size() ||
+            r.name.compare(r.name.size() - suffix.size(), suffix.size(),
+                           suffix) != 0)
+            continue;
+        const std::string twin =
+            r.name.substr(0, r.name.size() - suffix.size());
+        for (const Result &b : rows) {
+            if (b.name != twin || b.simCycles == r.simCycles)
+                continue;
+            std::fprintf(stderr,
+                         "host_tput: ATTRIBUTION VIOLATION: %s sim_cycles "
+                         "%llu != %s sim_cycles %llu\n",
+                         r.name.c_str(),
+                         static_cast<unsigned long long>(r.simCycles),
+                         twin.c_str(),
+                         static_cast<unsigned long long>(b.simCycles));
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 /**
@@ -291,6 +356,14 @@ writeJson(const std::string &path, const std::vector<Result> &current,
     std::fprintf(f, "  \"bench\": \"host_tput\",\n");
     std::fprintf(f, "  \"schema_version\": 1,\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+#if KVMARM_INVARIANTS_ENABLED
+    // Modes covered by this run: unsuffixed rows use the environment's
+    // KVMARM_CHECK selection (off unless overridden); *_enforce rows pin
+    // enforce around each scenario.
+    std::fprintf(f, "  \"kvmarm_check\": \"off,enforce\",\n");
+#else
+    std::fprintf(f, "  \"kvmarm_check\": \"disabled\",\n");
+#endif
     writeSection(f, "baseline", baseline);
     writeSection(f, "current", current);
     std::fprintf(f, "  \"speedup\": {\n");
@@ -340,10 +413,10 @@ main(int argc, char **argv)
     std::vector<Result> current = runAll(it);
 
     std::printf("\n=== Host throughput (wall clock) ===\n");
-    std::printf("%-16s %12s %10s %14s %16s\n", "scenario", "iterations",
+    std::printf("%-21s %12s %10s %14s %16s\n", "scenario", "iterations",
                 "wall[s]", "ops/sec", "sim cycles");
     for (const Result &r : current) {
-        std::printf("%-16s %12llu %10.3f %14.0f %16llu\n", r.name.c_str(),
+        std::printf("%-21s %12llu %10.3f %14.0f %16llu\n", r.name.c_str(),
                     static_cast<unsigned long long>(r.iterations),
                     r.wallSeconds, r.opsPerSec,
                     static_cast<unsigned long long>(r.simCycles));
@@ -360,5 +433,8 @@ main(int argc, char **argv)
         writeJson(out, current, baseline, smoke);
         std::printf("\nwrote %s\n", out.c_str());
     }
+
+    if (!checkedCyclesMatch(current))
+        return 1;
     return 0;
 }

@@ -11,7 +11,8 @@
 namespace kvmarm::arm {
 
 ArmCpu::ArmCpu(CpuId id, ArmMachine &machine)
-    : CpuBase(id, machine), armMachine_(machine), mmu_(*this)
+    : CpuBase(id, machine), armMachine_(machine),
+      checkEngine_(machine.checkEngine()), mmu_(*this)
 {
     regs_[CtrlReg::MIDR] = 0x412FC0F0; // Cortex-A15 r2p0
     regs_[CtrlReg::MPIDR] = 0x80000000 | id;
@@ -411,7 +412,7 @@ ArmCpu::writeVirtTimer(const TimerRegs &regs)
 void
 ArmCpu::writeCntvoff(std::uint64_t off)
 {
-    KVMARM_CHECK(hypAccess(id_, mode_, "cntvoff"));
+    KVMARM_CHECK_ON(checkEngine_, hypAccess(id_, mode_, "cntvoff"));
     if (mode_ != Mode::Hyp)
         panic("cpu%u: CNTVOFF write outside Hyp mode", id_);
     addCycles(armMachine_.cost().ctrlRegAccess);

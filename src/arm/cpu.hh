@@ -53,7 +53,8 @@ class ArmCpu : public CpuBase
     void
     setMode(Mode m)
     {
-        KVMARM_CHECK(modeChange(&armMachine_, id_, mode_, m, hyp_.hcr.vm));
+        KVMARM_CHECK_ON(checkEngine_,
+                        modeChange(&armMachine_, id_, mode_, m, hyp_.hcr.vm));
         mode_ = m;
     }
 
@@ -71,7 +72,7 @@ class ArmCpu : public CpuBase
     HypState &
     hypSys(const char *reg)
     {
-        KVMARM_CHECK(hypAccess(id_, mode_, reg));
+        KVMARM_CHECK_ON(checkEngine_, hypAccess(id_, mode_, reg));
         return hyp_;
     }
 
@@ -205,6 +206,10 @@ class ArmCpu : public CpuBase
                             unsigned len, bool isv);
 
     ArmMachine &armMachine_;
+    /** The owning machine's invariant engine (null when the check layer is
+     *  compiled out), cached so the inline hooks above cost one pointer
+     *  load + branch without needing the complete ArmMachine type. */
+    check::InvariantEngine *checkEngine_;
     Mode mode_ = Mode::Svc;
     bool irqMasked_ = true; //!< CPSR.I; kernels unmask after boot
     RegisterFile regs_;

@@ -73,7 +73,7 @@ VgicHypInterface::checkMaintenance(CpuId cpu)
     const VgicBank &b = banks_.at(cpu);
     if (b.en && b.uie &&
         emptyLrMask(cpu) == (1u << kNumListRegs) - 1) {
-        KVMARM_CHECK(maintenanceIrq(cpu, b));
+        KVMARM_CHECK_ON(machine_.checkEngine(), maintenanceIrq(cpu, b));
         dist_.raisePpi(cpu, kMaintenancePpi);
     }
 }
@@ -140,7 +140,7 @@ VgicHypInterface::write(CpuId cpu, Addr offset, std::uint64_t value,
         if (offset >= gich::LR0 && offset < gich::LR0 + 4 * kNumListRegs) {
             unsigned idx = (offset - gich::LR0) / 4;
             b.lr[idx] = ListReg::unpack(v);
-            KVMARM_CHECK(vgicLrWrite(cpu, idx, b));
+            KVMARM_CHECK_ON(machine_.checkEngine(), vgicLrWrite(cpu, idx, b));
             return;
         }
         // VTR/MISR/EISR/ELRSR and alias words are read-only; ignore.

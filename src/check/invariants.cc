@@ -1,22 +1,65 @@
 #include "check/invariants.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
 #include "check/rules.hh"
 #include "sim/logging.hh"
+#include "sim/machine_base.hh"
 
 namespace kvmarm::check {
 
 namespace detail {
 std::atomic<bool> gActive{false};
-
-/** Construct the engine at startup so the KVMARM_CHECK environment
- *  variable takes effect before any hook site consults gActive. */
-#if KVMARM_INVARIANTS_ENABLED
-const bool gEagerInit = (InvariantEngine::instance(), true);
-#endif
 } // namespace detail
+
+namespace {
+
+/**
+ * Process registry of live engines. The facade walks it to propagate
+ * setMode()/reset() and to aggregate violation counts; engines join in
+ * their constructor and leave in their destructor. The mutex guards only
+ * those cold paths — no event entry point ever touches it. Facade fan-out
+ * of reset() and aggregation read machine-engine state directly, so they
+ * must not run concurrently with machine execution (callers quiesce the
+ * fleet first; tests and benches naturally do).
+ */
+std::mutex gRegistryMutex;
+std::vector<InvariantEngine *> gRegistry;
+
+/** The process facade (first Shared-ownership engine, set by instance()). */
+InvariantEngine *gFacade = nullptr;
+
+#if KVMARM_INVARIANTS_ENABLED
+InvariantEngine *
+createMachineEngine()
+{
+    // Touch the facade first so KVMARM_CHECK env selection has happened
+    // and the new engine can inherit the current process-wide mode.
+    InvariantEngine::instance();
+    return new InvariantEngine(InvariantEngine::Ownership::Machine);
+}
+
+void
+destroyMachineEngine(InvariantEngine *eng)
+{
+    delete eng;
+}
+
+/** Hand MachineBase the means to create per-machine engines, and make
+ *  sure the facade exists (and has read KVMARM_CHECK) before any hook
+ *  site consults the gActive gate. Gated on the compile-time kill
+ *  switch: with KVMARM_INVARIANTS=OFF no factory is registered, machines
+ *  carry a null engine, and the hook macros compile away anyway. */
+const bool gEagerInit =
+    (InvariantEngine::instance(),
+     MachineBase::registerCheckEngineFactory(createMachineEngine,
+                                             destroyMachineEngine),
+     true);
+#endif
+
+} // namespace
 
 const char *
 switchDirName(SwitchDir d)
@@ -49,71 +92,166 @@ xferName(Xfer k)
     return "?";
 }
 
-InvariantEngine::InvariantEngine()
+InvariantEngine::InvariantEngine(Ownership ownership) : ownership_(ownership)
 {
     for (auto &rule : builtinRules())
         rules_.push_back(std::move(rule));
 
-    if (const char *env = std::getenv("KVMARM_CHECK")) {
-        if (!std::strcmp(env, "log"))
-            setMode(CheckMode::Log);
-        else if (!std::strcmp(env, "enforce"))
-            setMode(CheckMode::Enforce);
-        else if (std::strcmp(env, "off"))
-            warn("KVMARM_CHECK=%s not recognised (off|log|enforce)", env);
+    CheckMode initial = CheckMode::Off;
+    {
+        std::lock_guard<std::mutex> lock(gRegistryMutex);
+        if (ownership_ == Ownership::Shared && !gFacade)
+            gFacade = this;
+        // A machine engine born into a checked process (ScopedCheckMode
+        // already active, or KVMARM_CHECK set) starts in the facade's
+        // current mode instead of Off.
+        if (gFacade && gFacade != this)
+            initial = gFacade->mode();
+        gRegistry.push_back(this);
     }
+
+    if (this == gFacade) {
+        if (const char *env = std::getenv("KVMARM_CHECK")) {
+            if (!std::strcmp(env, "log"))
+                initial = CheckMode::Log;
+            else if (!std::strcmp(env, "enforce"))
+                initial = CheckMode::Enforce;
+            else if (std::strcmp(env, "off"))
+                warn("KVMARM_CHECK=%s not recognised (off|log|enforce)",
+                     env);
+        }
+    }
+    if (initial != CheckMode::Off)
+        setMode(initial);
+}
+
+InvariantEngine::~InvariantEngine()
+{
+    std::lock_guard<std::mutex> lock(gRegistryMutex);
+    gRegistry.erase(std::remove(gRegistry.begin(), gRegistry.end(), this),
+                    gRegistry.end());
+    if (gFacade == this)
+        gFacade = nullptr;
 }
 
 InvariantEngine &
 InvariantEngine::instance()
 {
-    static InvariantEngine engine;
+    static InvariantEngine engine{Ownership::Shared};
     return engine;
+}
+
+InvariantEngine *
+processEngine()
+{
+    return &InvariantEngine::instance();
+}
+
+bool
+InvariantEngine::isFacade() const
+{
+    return this == gFacade;
+}
+
+void
+InvariantEngine::refreshGate()
+{
+    const bool on = mode() != CheckMode::Off && !rules_.empty();
+    active_.store(on, std::memory_order_relaxed);
+    if (isFacade())
+        detail::gActive.store(on, std::memory_order_relaxed);
 }
 
 void
 InvariantEngine::setMode(CheckMode m)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    mode_ = m;
-    detail::gActive.store(mode_ != CheckMode::Off && !rules_.empty(),
-                          std::memory_order_relaxed);
+    if (isFacade()) {
+        // The facade owns the process-wide mode: fan the change out to
+        // every live engine (mode_/active_ are atomics, so this is safe
+        // even while machines run on fleet worker threads).
+        std::lock_guard<std::mutex> lock(gRegistryMutex);
+        for (InvariantEngine *eng : gRegistry) {
+            eng->mode_.store(m, std::memory_order_relaxed);
+            eng->refreshGate();
+        }
+        return;
+    }
+    mode_.store(m, std::memory_order_relaxed);
+    refreshGate();
 }
 
 void
 InvariantEngine::addRule(std::unique_ptr<InvariantRule> rule)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
     rules_.push_back(std::move(rule));
-    setMode(mode_); // refresh the fast-path gate
+    refreshGate();
 }
 
 void
 InvariantEngine::reset()
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    if (isFacade()) {
+        std::lock_guard<std::mutex> lock(gRegistryMutex);
+        for (InvariantEngine *eng : gRegistry) {
+            OptionalLock elock(*eng);
+            eng->violations_.clear();
+            eng->events_ = 0;
+            for (auto &rule : eng->rules_)
+                rule->reset();
+        }
+        return;
+    }
+    OptionalLock lock(*this);
     violations_.clear();
+    events_ = 0;
     for (auto &rule : rules_)
         rule->reset();
 }
 
 std::size_t
-InvariantEngine::violationCount(const std::string &rule) const
+InvariantEngine::localViolationCount(const std::string *rule) const
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    if (!rule)
+        return violations_.size();
     std::size_t n = 0;
     for (const Violation &v : violations_)
-        n += v.rule == rule;
+        n += v.rule == *rule;
     return n;
+}
+
+std::size_t
+InvariantEngine::aggregateViolationCount(const std::string *rule) const
+{
+    std::lock_guard<std::mutex> lock(gRegistryMutex);
+    std::size_t n = 0;
+    for (const InvariantEngine *eng : gRegistry)
+        n += eng->localViolationCount(rule);
+    return n;
+}
+
+std::size_t
+InvariantEngine::violationCount() const
+{
+    return isFacade() ? aggregateViolationCount(nullptr)
+                      : localViolationCount(nullptr);
+}
+
+std::size_t
+InvariantEngine::violationCount(const std::string &rule) const
+{
+    return isFacade() ? aggregateViolationCount(&rule)
+                      : localViolationCount(&rule);
 }
 
 void
 InvariantEngine::report(const InvariantRule &rule, std::string detail)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
     violations_.push_back(Violation{rule.name(), std::move(detail)});
     const Violation &v = violations_.back();
-    if (mode_ == CheckMode::Enforce) {
+    if (mode() == CheckMode::Enforce) {
         fatal("invariant violation [%s]: %s", v.rule.c_str(),
               v.detail.c_str());
     }
@@ -123,7 +261,8 @@ InvariantEngine::report(const InvariantRule &rule, std::string detail)
 void
 InvariantEngine::hypAccess(CpuId cpu, arm::Mode mode, const char *reg)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     HypAccessEvent ev{cpu, mode, reg};
     for (auto &rule : rules_)
         rule->onHypAccess(*this, ev);
@@ -133,7 +272,8 @@ void
 InvariantEngine::modeChange(const void *domain, CpuId cpu, arm::Mode from,
                             arm::Mode to, bool stage2_on)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     ModeChangeEvent ev{domain, cpu, from, to, stage2_on};
     for (auto &rule : rules_)
         rule->onModeChange(*this, ev);
@@ -143,7 +283,8 @@ void
 InvariantEngine::worldSwitchBegin(const void *domain, CpuId cpu,
                                   SwitchDir dir)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     WorldSwitchEvent ev{domain, cpu, dir, true, nullptr};
     for (auto &rule : rules_)
         rule->onWorldSwitch(*this, ev);
@@ -153,7 +294,8 @@ void
 InvariantEngine::worldSwitchEnd(const void *domain, CpuId cpu, SwitchDir dir,
                                 const arm::HypState &hyp)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     WorldSwitchEvent ev{domain, cpu, dir, false, &hyp};
     for (auto &rule : rules_)
         rule->onWorldSwitch(*this, ev);
@@ -163,7 +305,8 @@ void
 InvariantEngine::stateTransfer(const void *domain, CpuId cpu, StateClass cls,
                                Xfer kind)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     StateTransferEvent ev{domain, cpu, cls, kind};
     for (auto &rule : rules_)
         rule->onStateTransfer(*this, ev);
@@ -173,7 +316,8 @@ void
 InvariantEngine::stage2Map(const void *domain, std::uint16_t vmid, Addr ipa,
                            Addr pa, bool device)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     Stage2Event ev{domain, vmid, ipa, pa, device, true};
     for (auto &rule : rules_)
         rule->onStage2Update(*this, ev);
@@ -183,7 +327,8 @@ void
 InvariantEngine::stage2Unmap(const void *domain, std::uint16_t vmid,
                              Addr ipa, Addr pa)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     Stage2Event ev{domain, vmid, ipa, pa, false, false};
     for (auto &rule : rules_)
         rule->onStage2Update(*this, ev);
@@ -192,7 +337,8 @@ InvariantEngine::stage2Unmap(const void *domain, std::uint16_t vmid,
 void
 InvariantEngine::protectPage(const void *domain, Addr pa, const char *tag)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     PageGuardEvent ev{domain, pa, tag, true};
     for (auto &rule : rules_)
         rule->onPageGuard(*this, ev);
@@ -201,7 +347,8 @@ InvariantEngine::protectPage(const void *domain, Addr pa, const char *tag)
 void
 InvariantEngine::unprotectPage(const void *domain, Addr pa)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     PageGuardEvent ev{domain, pa, "", false};
     for (auto &rule : rules_)
         rule->onPageGuard(*this, ev);
@@ -211,7 +358,8 @@ void
 InvariantEngine::vgicLrWrite(CpuId cpu, unsigned idx,
                              const arm::VgicBank &bank)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     VgicLrEvent ev{cpu, idx, &bank};
     for (auto &rule : rules_)
         rule->onVgicLr(*this, ev);
@@ -220,7 +368,8 @@ InvariantEngine::vgicLrWrite(CpuId cpu, unsigned idx,
 void
 InvariantEngine::maintenanceIrq(CpuId cpu, const arm::VgicBank &bank)
 {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    OptionalLock lock(*this);
+    ++events_;
     MaintenanceEvent ev{cpu, &bank};
     for (auto &rule : rules_)
         rule->onMaintenance(*this, ev);

@@ -13,22 +13,43 @@
  * this engine *checks* them, so a silent save/restore asymmetry or a
  * cross-VM Stage-2 mapping fails loudly instead of corrupting results.
  *
- * Instrumented code reports events through the KVMARM_CHECK() macro, which
- * compiles to nothing when the build-time kill switch (CMake option
- * KVMARM_INVARIANTS) is off and costs one branch on a global flag when the
+ * Engines are sharded per machine (DESIGN.md §4.3): every `MachineBase`
+ * owns a private `InvariantEngine` instance holding its own rule shadow
+ * state, violation log and event counter. A machine is single-threaded by
+ * construction (§4.7), so a machine's engine runs plain single-threaded
+ * code — the checked hot path takes no mutex and needs no atomics beyond
+ * the per-engine mode flag, and a fleet of checked VMs never serializes
+ * on the checker.
+ *
+ * A thin process-global facade (`engine()` / `InvariantEngine::instance()`)
+ * remains for everything that is not a machine hot path: it carries the
+ * KVMARM_CHECK environment selection, fans `setMode()`/`reset()` out to
+ * every live engine, aggregates `violationCount()` across them (so tests
+ * that drive a real machine and then ask the facade keep working), and
+ * serves as the event sink for instrumented objects constructed without a
+ * machine (unit-test traffic). The facade keeps a conditional recursive
+ * mutex because it may be fed from several threads; machine engines never
+ * touch one.
+ *
+ * Instrumented code reports events through the KVMARM_CHECK_ON() macro
+ * (KVMARM_CHECK() for facade-routed sites), which compiles to nothing when
+ * the build-time kill switch (CMake option KVMARM_INVARIANTS) is off and
+ * costs a pointer load plus one branch on the engine's mode flag when the
  * runtime mode is Off. No event ever charges simulated cycles: checking is
  * invisible to the cost model.
  *
  * Runtime modes: Off (default), Log (record + warn), Enforce (record +
  * throw FatalError). The KVMARM_CHECK environment variable ("off", "log",
  * "enforce") selects the initial mode, letting CI run the entire test
- * suite under enforcement without code changes.
+ * suite under enforcement without code changes; machine engines inherit
+ * the facade's mode at construction.
  */
 
 #ifndef KVMARM_CHECK_INVARIANTS_HH
 #define KVMARM_CHECK_INVARIANTS_HH
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -174,7 +195,9 @@ class InvariantEngine;
 /**
  * One pluggable invariant rule. Override the hooks the rule cares about;
  * report violations through InvariantEngine::report(). Rules keep their
- * own shadow state and must clear it in reset().
+ * own shadow state and must clear it in reset(). Each engine instance
+ * owns a private set of rule instances, so one machine's shadow state can
+ * never alias another's.
  */
 class InvariantRule
 {
@@ -200,13 +223,15 @@ class InvariantRule
 };
 
 namespace detail {
-/** Fast-path gate consulted by KVMARM_CHECK before touching the engine.
- *  Atomic so machines running on fleet worker threads can consult it
- *  race-free; a relaxed load keeps the Off-mode cost at one branch. */
+/** Fast-path gate consulted by KVMARM_CHECK before touching the facade.
+ *  Atomic so instrumented objects running on fleet worker threads can
+ *  consult it race-free; a relaxed load keeps the Off-mode cost at one
+ *  branch. Mirrors the *facade* engine's activity only — machine engines
+ *  carry their own gate (InvariantEngine::active()). */
 extern std::atomic<bool> gActive;
 } // namespace detail
 
-/** True when the engine wants events (mode != Off). */
+/** True when the facade engine wants events (mode != Off). */
 inline bool
 engineActive()
 {
@@ -214,48 +239,90 @@ engineActive()
 }
 
 /**
- * The process-wide invariant engine. Instrumented code funnels events in
+ * An invariant engine instance: a set of rules, their shadow state, a
+ * violation log and an event counter. Instrumented code funnels events in
  * through the entry points below; the engine fans them out to every
  * registered rule.
  *
- * The engine is the one deliberately process-global piece of checking
- * state (rules key their shadow state by machine/Mm domain pointer, so
- * several machines can feed one engine). Every entry point serializes on
- * an internal mutex: when a fleet of machines runs on multiple host
- * threads with checking enabled, events interleave across VMs but each
- * VM's own event stream stays ordered (one machine never leaves its
- * thread). With the default Off mode the hooks never reach the mutex.
+ * Two ownership flavors:
+ *
+ *  - Machine (the default): owned by exactly one MachineBase and fed only
+ *    from that machine's (single) execution thread. Entry points are plain
+ *    single-threaded code — no mutex, no atomics beyond the mode flag.
+ *  - Shared: the process facade returned by instance(). May be fed from
+ *    any thread; entry points serialize on an internal recursive mutex
+ *    (recursive because rules invoke report() while the engine holds the
+ *    lock across an event fan-out).
+ *
+ * Every engine registers itself in a process registry so the facade can
+ * fan out mode changes and resets and aggregate violation counts. The
+ * registry is touched only on construction/destruction and from the
+ * facade's cold paths, never by a machine engine's event entry points.
  */
 class InvariantEngine
 {
   public:
-    /** The engine singleton (created on first use; initial mode comes
+    enum class Ownership
+    {
+        Machine, //!< single-threaded, lock-free entry points
+        Shared,  //!< process facade; entry points take a mutex
+    };
+
+    /** The facade singleton (created on first use; initial mode comes
      *  from the KVMARM_CHECK environment variable, default Off). */
     static InvariantEngine &instance();
 
-    CheckMode mode() const { return mode_; }
+    explicit InvariantEngine(Ownership ownership = Ownership::Machine);
+    ~InvariantEngine();
+
+    InvariantEngine(const InvariantEngine &) = delete;
+    InvariantEngine &operator=(const InvariantEngine &) = delete;
+
+    CheckMode mode() const { return mode_.load(std::memory_order_relaxed); }
+
+    /** Set this engine's mode. On the facade, additionally propagates the
+     *  mode to every live engine in the process. */
     void setMode(CheckMode m);
+
+    /** True when this engine wants events (mode != Off, rules present) —
+     *  the per-engine fast-path gate consulted by KVMARM_CHECK_ON. */
+    bool
+    active() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
 
     /** Register an additional rule (the five built-in rules are installed
      *  by the constructor). */
     void addRule(std::unique_ptr<InvariantRule> rule);
 
-    /** Clear recorded violations and every rule's shadow state. */
+    /** Clear recorded violations, the event counter and every rule's
+     *  shadow state. On the facade, resets every live engine. */
     void reset();
 
     /// @name Results
     /// @{
+    /** This engine's own violation log (never aggregated). */
     const std::vector<Violation> &violations() const { return violations_; }
-    std::size_t violationCount() const { return violations_.size(); }
-    /** Number of violations attributed to @p rule. */
+
+    /** Number of recorded violations. On the facade this aggregates
+     *  across every live engine, so a test that drove a real machine can
+     *  keep interrogating the facade; on a machine engine it is that
+     *  machine's own count. */
+    std::size_t violationCount() const;
+    /** Number of violations attributed to @p rule (same aggregation). */
     std::size_t violationCount(const std::string &rule) const;
+
+    /** Events observed by this engine instance (post-gate, i.e. in Log or
+     *  Enforce mode only). Never aggregated. */
+    std::uint64_t eventCount() const { return events_; }
     /// @}
 
     /** Record a violation (called by rules). Log mode warns; Enforce mode
      *  throws FatalError after recording. */
     void report(const InvariantRule &rule, std::string detail);
 
-    /// @name Event entry points (hook sites call these via KVMARM_CHECK)
+    /// @name Event entry points (hook sites call these via KVMARM_CHECK_ON)
     /// @{
     void hypAccess(CpuId cpu, arm::Mode mode, const char *reg);
     void modeChange(const void *domain, CpuId cpu, arm::Mode from,
@@ -276,25 +343,61 @@ class InvariantEngine
     /// @}
 
   private:
-    InvariantEngine();
+    /** Locks the engine mutex only for Shared ownership; a machine
+     *  engine's OptionalLock is a no-op, keeping its hot path lock-free. */
+    class OptionalLock
+    {
+      public:
+        explicit OptionalLock(const InvariantEngine &eng)
+            : mutex_(eng.ownership_ == Ownership::Shared ? &eng.mutex_
+                                                         : nullptr)
+        {
+            if (mutex_)
+                mutex_->lock();
+        }
+        ~OptionalLock()
+        {
+            if (mutex_)
+                mutex_->unlock();
+        }
+        OptionalLock(const OptionalLock &) = delete;
+        OptionalLock &operator=(const OptionalLock &) = delete;
 
-    /** Recursive because rules invoke report() while the engine holds the
-     *  lock across an event fan-out. */
+      private:
+        std::recursive_mutex *mutex_;
+    };
+
+    bool isFacade() const;
+    void refreshGate();
+    std::size_t localViolationCount(const std::string *rule) const;
+    std::size_t aggregateViolationCount(const std::string *rule) const;
+
+    const Ownership ownership_;
+    /** Taken only when ownership_ == Shared. Recursive because rules
+     *  invoke report() while the engine holds it across a fan-out. */
     mutable std::recursive_mutex mutex_;
-    CheckMode mode_ = CheckMode::Off;
+    std::atomic<CheckMode> mode_{CheckMode::Off};
+    std::atomic<bool> active_{false};
     std::vector<std::unique_ptr<InvariantRule>> rules_;
     std::vector<Violation> violations_;
+    std::uint64_t events_ = 0;
 };
 
-/** Shorthand for the singleton. */
+/** Shorthand for the facade singleton. */
 inline InvariantEngine &
 engine()
 {
     return InvariantEngine::instance();
 }
 
-/** RAII mode switch for tests: sets the mode, resets the engine, and
- *  restores Off + resets again on destruction. */
+/** The facade as a pointer — the engine instrumented objects fall back to
+ *  when they are constructed without an owning machine (unit tests). */
+InvariantEngine *processEngine();
+
+/** RAII mode switch for tests: sets the mode, resets every engine, and
+ *  restores Off + resets again on destruction (all via the facade, so
+ *  machine engines created before the scope follow along; engines created
+ *  inside the scope inherit the facade's mode at construction). */
 class ScopedCheckMode
 {
   public:
@@ -315,17 +418,35 @@ class ScopedCheckMode
 } // namespace kvmarm::check
 
 /**
- * Hook macro used at instrumentation sites: KVMARM_CHECK(hypAccess(...)).
- * Arguments are not evaluated unless the engine is active; the whole
- * statement compiles away when KVMARM_INVARIANTS is off.
+ * Hook macros used at instrumentation sites.
+ *
+ * KVMARM_CHECK_ON(eng, call) delivers to a specific engine instance —
+ * every machine-owned hook site routes through the owning machine's
+ * engine this way: KVMARM_CHECK_ON(ck, stateTransfer(...)). A null engine
+ * (kill-switch builds register no factory) drops the event.
+ *
+ * KVMARM_CHECK(call) delivers to the process facade; it remains for
+ * instrumented code with no machine association.
+ *
+ * Arguments are not evaluated unless the target engine is active; both
+ * macros compile away when KVMARM_INVARIANTS is off.
  */
 #if KVMARM_INVARIANTS_ENABLED
+#define KVMARM_CHECK_ON(eng, call)                                          \
+    do {                                                                    \
+        ::kvmarm::check::InvariantEngine *kvmarm_check_e_ = (eng);          \
+        if (kvmarm_check_e_ && kvmarm_check_e_->active())                   \
+            kvmarm_check_e_->call;                                          \
+    } while (0)
 #define KVMARM_CHECK(call)                                                  \
     do {                                                                    \
         if (::kvmarm::check::engineActive())                                \
             ::kvmarm::check::engine().call;                                 \
     } while (0)
 #else
+#define KVMARM_CHECK_ON(eng, call)                                          \
+    do {                                                                    \
+    } while (0)
 #define KVMARM_CHECK(call)                                                  \
     do {                                                                    \
     } while (0)

@@ -17,7 +17,7 @@ HypMem::HypMem(arm::ArmMachine &machine, host::Mm &mm)
 HypMem::~HypMem()
 {
     for (Addr pa : pages_) {
-        KVMARM_CHECK(unprotectPage(&mm_, pa));
+        KVMARM_CHECK_ON(mm_.checkEngine(), unprotectPage(&mm_, pa));
         mm_.putPage(pa);
     }
 }
@@ -39,7 +39,8 @@ HypMem::build()
         [this] {
             Addr pa = mm_.allocPage();
             pages_.push_back(pa);
-            KVMARM_CHECK(protectPage(&mm_, pa, "hyp-table"));
+            KVMARM_CHECK_ON(mm_.checkEngine(),
+                            protectPage(&mm_, pa, "hyp-table"));
             return pa;
         });
 

@@ -17,7 +17,8 @@ Stage2Mmu::Stage2Mmu(host::Mm &mm, std::uint16_t vmid, Addr ipa_ram_base,
               [this] {
                   Addr pa = mm_.allocPage();
                   tablePages_.push_back(pa);
-                  KVMARM_CHECK(protectPage(&mm_, pa, "stage2-table"));
+                  KVMARM_CHECK_ON(mm_.checkEngine(),
+                                  protectPage(&mm_, pa, "stage2-table"));
                   return pa;
               })
 {
@@ -56,7 +57,8 @@ Stage2Mmu::handleRamFault(Addr ipa)
     p.user = true;
     editor_.map(root_, page_ipa, pa, p);
     ramPages_[page_ipa] = pa;
-    KVMARM_CHECK(stage2Map(&mm_, vmid_, page_ipa, pa, false));
+    KVMARM_CHECK_ON(mm_.checkEngine(),
+                    stage2Map(&mm_, vmid_, page_ipa, pa, false));
     return true;
 }
 
@@ -68,8 +70,9 @@ Stage2Mmu::mapDevicePage(Addr ipa, Addr pa)
     p.exec = false;
     p.device = true;
     editor_.map(root_, pageAlignDown(ipa), pageAlignDown(pa), p);
-    KVMARM_CHECK(stage2Map(&mm_, vmid_, pageAlignDown(ipa),
-                           pageAlignDown(pa), true));
+    KVMARM_CHECK_ON(mm_.checkEngine(),
+                    stage2Map(&mm_, vmid_, pageAlignDown(ipa),
+                              pageAlignDown(pa), true));
 }
 
 bool
@@ -80,7 +83,8 @@ Stage2Mmu::unmapPage(Addr ipa)
     if (it == ramPages_.end())
         return false;
     editor_.unmap(root_, page_ipa);
-    KVMARM_CHECK(stage2Unmap(&mm_, vmid_, page_ipa, it->second));
+    KVMARM_CHECK_ON(mm_.checkEngine(),
+                    stage2Unmap(&mm_, vmid_, page_ipa, it->second));
     mm_.putPage(it->second);
     ramPages_.erase(it);
     return true;
@@ -99,12 +103,13 @@ void
 Stage2Mmu::releaseAll()
 {
     for (auto &[ipa, pa] : ramPages_) {
-        KVMARM_CHECK(stage2Unmap(&mm_, vmid_, ipa, pa));
+        KVMARM_CHECK_ON(mm_.checkEngine(),
+                        stage2Unmap(&mm_, vmid_, ipa, pa));
         mm_.putPage(pa);
     }
     ramPages_.clear();
     for (Addr pa : tablePages_) {
-        KVMARM_CHECK(unprotectPage(&mm_, pa));
+        KVMARM_CHECK_ON(mm_.checkEngine(), unprotectPage(&mm_, pa));
         mm_.putPage(pa);
     }
     tablePages_.clear();

@@ -40,9 +40,10 @@ VTimerEmul::onWorldSwitchIn(ArmCpu &cpu, VCpu &vcpu)
     // timer to the guest; physical timer access stays hypervisor-only.
     cpu.writeCntvoff(vcpu.cntvoff);
     kvm_.machine().timer().setVirt(cpu.id(), vcpu.vtimerShadow);
-    KVMARM_CHECK(stateTransfer(&kvm_.machine(), cpu.id(),
-                               check::StateClass::Timer,
-                               check::Xfer::RestoreGuest));
+    KVMARM_CHECK_ON(kvm_.machine().checkEngine(),
+                    stateTransfer(&kvm_.machine(), cpu.id(),
+                                  check::StateClass::Timer,
+                                  check::Xfer::RestoreGuest));
     cpu.compute(2 * cpu.machine().cost().ctrlRegAccess);
     cpu.hypSys("cnthctl").pl1PhysTimerAccess = false;
 }
@@ -58,9 +59,10 @@ VTimerEmul::onWorldSwitchOut(ArmCpu &cpu, VCpu &vcpu)
     // Table 1) and disable the hardware instance for the host.
     vcpu.vtimerShadow = kvm_.machine().timer().virt(cpu.id());
     kvm_.machine().timer().setVirt(cpu.id(), TimerRegs{});
-    KVMARM_CHECK(stateTransfer(&kvm_.machine(), cpu.id(),
-                               check::StateClass::Timer,
-                               check::Xfer::SaveGuest));
+    KVMARM_CHECK_ON(kvm_.machine().checkEngine(),
+                    stateTransfer(&kvm_.machine(), cpu.id(),
+                                  check::StateClass::Timer,
+                                  check::Xfer::SaveGuest));
     cpu.compute(2 * cpu.machine().cost().ctrlRegAccess);
 
     // Multiplexing (paper §3.6): if the guest timer is unexpired, program

@@ -23,16 +23,17 @@ WorldSwitch::WorldSwitch(Kvm &kvm)
 void
 WorldSwitch::switchFpuToVm(ArmCpu &cpu, VCpu &vcpu)
 {
+    check::InvariantEngine *const ck = cpu.machine().checkEngine();
     const auto &cm = cpu.machine().cost();
     FpuPark &park = hostFpu_.at(cpu.id());
     park.vfp = cpu.regs().vfp;
     park.vfpCtrl = cpu.regs().vfpCtrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Fpu,
                                check::Xfer::SaveHost));
     cpu.regs().vfp = vcpu.regs.vfp;
     cpu.regs().vfpCtrl = vcpu.regs.vfpCtrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Fpu,
                                check::Xfer::RestoreGuest));
     cpu.compute(2 * (arm::kNumVfpDataRegs * cm.vfpRegAccess +
@@ -42,16 +43,17 @@ WorldSwitch::switchFpuToVm(ArmCpu &cpu, VCpu &vcpu)
 void
 WorldSwitch::switchFpuToHost(ArmCpu &cpu, VCpu &vcpu)
 {
+    check::InvariantEngine *const ck = cpu.machine().checkEngine();
     const auto &cm = cpu.machine().cost();
     FpuPark &park = hostFpu_.at(cpu.id());
     vcpu.regs.vfp = cpu.regs().vfp;
     vcpu.regs.vfpCtrl = cpu.regs().vfpCtrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Fpu,
                                check::Xfer::SaveGuest));
     cpu.regs().vfp = park.vfp;
     cpu.regs().vfpCtrl = park.vfpCtrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Fpu,
                                check::Xfer::RestoreHost));
     cpu.compute(2 * (arm::kNumVfpDataRegs * cm.vfpRegAccess +
@@ -61,6 +63,7 @@ WorldSwitch::switchFpuToHost(ArmCpu &cpu, VCpu &vcpu)
 void
 WorldSwitch::restoreVgic(ArmCpu &cpu, VCpu &vcpu)
 {
+    check::InvariantEngine *const ck = cpu.machine().checkEngine();
     const KvmConfig &cfg = kvm_.config();
     const Addr gich = ArmMachine::kGichBase;
     arm::VgicBank &sh = vcpu.vgicShadow;
@@ -79,7 +82,7 @@ WorldSwitch::restoreVgic(ArmCpu &cpu, VCpu &vcpu)
         cpu.memWrite(gich + arm::gich::HCR, hcr);
         cpu.memWrite(gich + arm::gich::VMCR, vmcr);
         vcpu.vgicHwLive = false;
-        KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+        KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                    check::StateClass::Vgic,
                                    check::Xfer::RestoreGuest));
         return;
@@ -101,7 +104,7 @@ WorldSwitch::restoreVgic(ArmCpu &cpu, VCpu &vcpu)
     for (unsigned i = 0; i < arm::kNumListRegs; ++i)
         cpu.memWrite(gich + arm::gich::LR0 + 4 * i, sh.lr[i].pack());
     vcpu.vgicHwLive = true;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Vgic,
                                check::Xfer::RestoreGuest));
 }
@@ -109,6 +112,7 @@ WorldSwitch::restoreVgic(ArmCpu &cpu, VCpu &vcpu)
 void
 WorldSwitch::saveVgic(ArmCpu &cpu, VCpu &vcpu)
 {
+    check::InvariantEngine *const ck = cpu.machine().checkEngine();
     const KvmConfig &cfg = kvm_.config();
     const Addr gich = ArmMachine::kGichBase;
     arm::VgicBank &sh = vcpu.vgicShadow;
@@ -121,7 +125,7 @@ WorldSwitch::saveVgic(ArmCpu &cpu, VCpu &vcpu)
         sh.vmEnabled = vmcr & 1;
         sh.vmPmr = static_cast<std::uint8_t>(vmcr >> 24);
         cpu.memWrite(gich + arm::gich::HCR, 0);
-        KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+        KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                    check::StateClass::Vgic,
                                    check::Xfer::SaveGuest));
         return;
@@ -147,7 +151,7 @@ WorldSwitch::saveVgic(ArmCpu &cpu, VCpu &vcpu)
     // Disable the virtual interface while the host runs.
     cpu.memWrite(gich + arm::gich::HCR, 0);
     vcpu.vgicHwLive = false;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Vgic,
                                check::Xfer::SaveGuest));
 }
@@ -155,10 +159,11 @@ WorldSwitch::saveVgic(ArmCpu &cpu, VCpu &vcpu)
 void
 WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
 {
+    check::InvariantEngine *const ck = cpu.machine().checkEngine();
     const auto &cm = cpu.machine().cost();
     const KvmConfig &cfg = kvm_.config();
     HostContext &host = hostCtx_.at(cpu.id());
-    KVMARM_CHECK(worldSwitchBegin(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, worldSwitchBegin(&cpu.machine(), cpu.id(),
                                   check::SwitchDir::ToVm));
 
     // Entry bookkeeping, including the atomic operations the mainline
@@ -169,7 +174,7 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     // (1) Store all host GP registers on the Hyp stack.
     host.regs.gp = cpu.regs().gp;
     host.valid = true;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Gp,
                                check::Xfer::SaveHost));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
@@ -187,7 +192,7 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     //     stack. Hyp mode has its own configuration registers, so this
     //     does not disturb the executing lowvisor (paper §3.2).
     host.regs.ctrl = cpu.regs().ctrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Ctrl,
                                check::Xfer::SaveHost));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
@@ -195,7 +200,7 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     // (5) Load the VM's configuration registers — including (7) the
     //     VM-specific shadow ID registers (MIDR/MPIDR slots).
     cpu.regs().ctrl = vcpu.regs.ctrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Ctrl,
                                check::Xfer::RestoreGuest));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
@@ -234,7 +239,7 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
 
     // (9) Restore all guest GP registers.
     cpu.regs().gp = vcpu.regs.gp;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Gp,
                                check::Xfer::RestoreGuest));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
@@ -246,19 +251,20 @@ WorldSwitch::toVm(ArmCpu &cpu, VCpu &vcpu)
     vcpu.hotStats.worldSwitchIn.inc(vcpu.stats, "worldswitch.in");
     KVMARM_TRACE(Debug, "cpu%u: world switch in (vcpu %u)", cpu.id(),
                  vcpu.index());
-    KVMARM_CHECK(worldSwitchEnd(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, worldSwitchEnd(&cpu.machine(), cpu.id(),
                                 check::SwitchDir::ToVm, cpu.hyp()));
 }
 
 void
 WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 {
+    check::InvariantEngine *const ck = cpu.machine().checkEngine();
     const auto &cm = cpu.machine().cost();
     const KvmConfig &cfg = kvm_.config();
     HostContext &host = hostCtx_.at(cpu.id());
     if (!host.valid)
         panic("WorldSwitch::toHost with no saved host context");
-    KVMARM_CHECK(worldSwitchBegin(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, worldSwitchBegin(&cpu.machine(), cpu.id(),
                                   check::SwitchDir::ToHost));
 
     // Capture the guest's interrupted mode/mask (SPSR_hyp).
@@ -268,7 +274,7 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 
     // (1) Store all VM GP registers.
     vcpu.regs.gp = cpu.regs().gp;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Gp,
                                check::Xfer::SaveGuest));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
@@ -299,14 +305,14 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 
     // (4) Save all VM-specific configuration registers.
     vcpu.regs.ctrl = cpu.regs().ctrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Ctrl,
                                check::Xfer::SaveGuest));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
 
     // (5) Load the host's configuration registers onto the hardware.
     cpu.regs().ctrl = host.regs.ctrl;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Ctrl,
                                check::Xfer::RestoreHost));
     cpu.compute(arm::kNumCtrlRegs * cm.ctrlRegAccess);
@@ -322,7 +328,7 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
 
     // (8) Restore all host GP registers.
     cpu.regs().gp = host.regs.gp;
-    KVMARM_CHECK(stateTransfer(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, stateTransfer(&cpu.machine(), cpu.id(),
                                check::StateClass::Gp,
                                check::Xfer::RestoreHost));
     cpu.compute(arm::kNumGpRegs * cm.gpRegSave);
@@ -333,7 +339,7 @@ WorldSwitch::toHost(ArmCpu &cpu, VCpu &vcpu)
     vcpu.hotStats.worldSwitchOut.inc(vcpu.stats, "worldswitch.out");
     KVMARM_TRACE(Debug, "cpu%u: world switch out (vcpu %u)", cpu.id(),
                  vcpu.index());
-    KVMARM_CHECK(worldSwitchEnd(&cpu.machine(), cpu.id(),
+    KVMARM_CHECK_ON(ck, worldSwitchEnd(&cpu.machine(), cpu.id(),
                                 check::SwitchDir::ToHost, cpu.hyp()));
 }
 

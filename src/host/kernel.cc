@@ -12,8 +12,9 @@ using arm::Mode;
 using arm::Perms;
 
 HostKernel::HostKernel(ArmMachine &machine, const Config &config)
-    : machine_(machine), config_(config), mm_(machine.ram()),
-      timers_(machine), stub_(*this)
+    : machine_(machine), config_(config),
+      mm_(machine.ram(), machine.checkEngine()), timers_(machine),
+      stub_(*this)
 {
 }
 

@@ -1,10 +1,13 @@
 #include "host/mm.hh"
 
+#include "check/invariants.hh"
 #include "sim/logging.hh"
 
 namespace kvmarm::host {
 
-Mm::Mm(PhysMem &ram) : ram_(ram)
+Mm::Mm(PhysMem &ram, check::InvariantEngine *check_engine)
+    : ram_(ram),
+      checkEngine_(check_engine ? check_engine : check::processEngine())
 {
     // Build the free list high-to-low so early allocations (kernel page
     // tables) come from the top of RAM, away from guest RAM bases.

@@ -17,13 +17,29 @@
 #include "mem/phys_mem.hh"
 #include "sim/types.hh"
 
+namespace kvmarm::check {
+class InvariantEngine;
+} // namespace kvmarm::check
+
 namespace kvmarm::host {
 
 /** Page-frame allocator with per-page refcounts. */
 class Mm
 {
   public:
-    explicit Mm(PhysMem &ram);
+    /**
+     * @param check_engine the invariant engine the memory-management
+     *     clients of this allocator (Stage-2, Hyp page tables) report to.
+     *     HostKernel passes its machine's private engine; a null engine
+     *     falls back to the process facade, so standalone Mm instances in
+     *     unit tests keep reporting somewhere visible.
+     */
+    explicit Mm(PhysMem &ram,
+                check::InvariantEngine *check_engine = nullptr);
+
+    /** The invariant engine Stage-2/Hyp page-table code reports to.
+     *  Never null when invariants are compiled in. */
+    check::InvariantEngine *checkEngine() const { return checkEngine_; }
 
     /** Allocate one zeroed page (refcount 1). Fatal when out of memory. */
     Addr allocPage();
@@ -56,6 +72,7 @@ class Mm
 
   private:
     PhysMem &ram_;
+    check::InvariantEngine *checkEngine_;
     std::vector<Addr> freeList_;
     std::unordered_map<Addr, unsigned> refcounts_;
 };

@@ -20,6 +20,11 @@ Fleet::Fleet(unsigned threads) : threads_(threads)
 std::size_t
 Fleet::add(std::string name, JobFn fn)
 {
+    if (running_.load(std::memory_order_relaxed)) {
+        fatal("Fleet::add: job '%s' submitted while run() is in progress — "
+              "queue all jobs before run(), or use a second Fleet",
+              name.c_str());
+    }
     if (!fn)
         fatal("Fleet::add: job '%s' has no body", name.c_str());
     std::size_t index = pending_.size();
@@ -115,12 +120,14 @@ Fleet::run()
     }
     pending_.clear();
 
+    running_.store(true, std::memory_order_relaxed);
     std::vector<std::thread> pool;
     pool.reserve(threads_);
     for (unsigned w = 0; w < threads_; ++w)
         pool.emplace_back([this, w, &results] { workerMain(w, results); });
     for (std::thread &t : pool)
         t.join();
+    running_.store(false, std::memory_order_relaxed);
 
     return results;
 }

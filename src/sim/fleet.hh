@@ -21,6 +21,7 @@
 #ifndef KVMARM_SIM_FLEET_HH
 #define KVMARM_SIM_FLEET_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -67,8 +68,11 @@ class Fleet
 
     /**
      * Queue a job for the next run(). Not thread-safe: submission happens
-     * on the owning thread before run(). Returns the job's index, which is
-     * also its slot in run()'s result vector.
+     * on the owning thread before run(); calling add() while run() is in
+     * progress (e.g. from inside a job body) is a hard error — the deal
+     * happened before the workers started, so a late job could be silently
+     * dropped. Returns the job's index, which is also its slot in run()'s
+     * result vector.
      */
     std::size_t add(std::string name, JobFn fn);
 
@@ -105,6 +109,10 @@ class Fleet
     void workerMain(unsigned w, std::vector<JobResult> &results);
 
     unsigned threads_;
+    /** True while run()'s worker pool is live; add() hard-errors then.
+     *  Atomic so a misuse from a job body (worker thread) is still
+     *  diagnosed race-free rather than corrupting pending_. */
+    std::atomic<bool> running_{false};
     std::vector<Job> pending_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::mutex statsMutex_;

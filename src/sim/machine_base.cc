@@ -6,6 +6,36 @@
 
 namespace kvmarm {
 
+namespace {
+/** Factory hooks registered by the check layer (null until its static
+ *  initializer runs; permanently null when invariants are compiled out or
+ *  the binary links no check code). */
+MachineBase::CheckEngineCreate gCheckCreate = nullptr;
+MachineBase::CheckEngineDestroy gCheckDestroy = nullptr;
+} // namespace
+
+void
+MachineBase::registerCheckEngineFactory(CheckEngineCreate create,
+                                        CheckEngineDestroy destroy)
+{
+    gCheckCreate = create;
+    gCheckDestroy = destroy;
+}
+
+void
+MachineBase::CheckEngineDeleter::operator()(check::InvariantEngine *eng) const
+{
+    if (eng && gCheckDestroy)
+        gCheckDestroy(eng);
+}
+
+MachineBase::MachineBase()
+    : checkEngine_(gCheckCreate ? gCheckCreate() : nullptr)
+{
+}
+
+MachineBase::~MachineBase() = default;
+
 void
 MachineBase::run()
 {

@@ -11,9 +11,14 @@
 #ifndef KVMARM_SIM_MACHINE_BASE_HH
 #define KVMARM_SIM_MACHINE_BASE_HH
 
+#include <memory>
 #include <vector>
 
 #include "sim/types.hh"
+
+namespace kvmarm::check {
+class InvariantEngine;
+} // namespace kvmarm::check
 
 namespace kvmarm {
 
@@ -23,7 +28,8 @@ class CpuBase;
 class MachineBase
 {
   public:
-    virtual ~MachineBase() = default;
+    MachineBase();
+    virtual ~MachineBase();
 
     /**
      * Run every CPU that has an entry function until all of them finish or
@@ -54,6 +60,27 @@ class MachineBase
      */
     void noteEventScheduled(CpuBase &target, Cycles when);
 
+    /**
+     * This machine's private invariant engine, or null when the check
+     * layer is not linked in (or compiled out with KVMARM_INVARIANTS=OFF).
+     * A machine is single-threaded by construction, so everything that
+     * runs in machine context may feed this engine without locks via
+     * KVMARM_CHECK_ON(). Owned by the machine; dies with it.
+     *
+     * The sim layer cannot link against the check layer (the dependency
+     * points the other way), so creation and destruction go through a
+     * factory the check layer registers at static initialization.
+     */
+    check::InvariantEngine *checkEngine() const { return checkEngine_.get(); }
+
+    using CheckEngineCreate = check::InvariantEngine *(*)();
+    using CheckEngineDestroy = void (*)(check::InvariantEngine *);
+
+    /** Called once by the check layer's static initializer; machines
+     *  constructed while no factory is registered get a null engine. */
+    static void registerCheckEngineFactory(CheckEngineCreate create,
+                                           CheckEngineDestroy destroy);
+
   protected:
     /** Derived machines register their CPUs in id order. */
     void registerCpu(CpuBase *cpu) { cpusBase_.push_back(cpu); }
@@ -62,6 +89,16 @@ class MachineBase
     Cycles quantum_ = 500;
     bool stopRequested_ = false;
     CpuBase *running_ = nullptr;
+
+  private:
+    /** Deletes through the registered destroy hook (the sim layer never
+     *  sees the complete InvariantEngine type). */
+    struct CheckEngineDeleter
+    {
+        void operator()(check::InvariantEngine *eng) const;
+    };
+
+    std::unique_ptr<check::InvariantEngine, CheckEngineDeleter> checkEngine_;
 };
 
 } // namespace kvmarm

@@ -478,6 +478,94 @@ TEST(InvariantEngine, ResetClearsViolationsAndShadowState)
     EXPECT_EQ(check::engine().violationCount(), 0u);
 }
 
+// --------------------------------------------------------- engine sharding
+
+TEST(EngineSharding, MachinesOwnPrivateEngines)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine a(smallMachine());
+    ArmMachine b(smallMachine());
+
+    check::InvariantEngine *ea = a.checkEngine();
+    check::InvariantEngine *eb = b.checkEngine();
+    ASSERT_NE(ea, nullptr);
+    ASSERT_NE(eb, nullptr);
+    EXPECT_NE(ea, eb);
+    EXPECT_NE(ea, &check::engine());
+    EXPECT_NE(eb, &check::engine());
+
+    // Machines created inside the scope inherited the facade's mode.
+    EXPECT_EQ(ea->mode(), CheckMode::Log);
+    EXPECT_TRUE(ea->active());
+}
+
+TEST(EngineSharding, ViolationInOneVmStaysInItsEngine)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine a(smallMachine());
+    ArmMachine b(smallMachine());
+
+    // VM A commits a privilege violation; VM B does legal work only.
+    a.cpu(0).hypSys("hcr"); // Svc-mode access to a Hyp register
+    b.cpu(0).setMode(Mode::Hyp);
+    b.cpu(0).hypSys("hcr");
+    b.cpu(0).setMode(Mode::Svc);
+
+    EXPECT_EQ(a.checkEngine()->violationCount(), 1u);
+    EXPECT_EQ(a.checkEngine()->violationCount("privilege"), 1u);
+    EXPECT_TRUE(b.checkEngine()->violations().empty());
+    EXPECT_EQ(b.checkEngine()->violationCount(), 0u);
+
+    // Both machines observed events; only A recorded a violation.
+    EXPECT_GT(a.checkEngine()->eventCount(), 0u);
+    EXPECT_GT(b.checkEngine()->eventCount(), 0u);
+
+    // The facade aggregates across engines, so legacy process-wide
+    // interrogation still sees A's violation.
+    EXPECT_EQ(check::engine().violationCount("privilege"), 1u);
+}
+
+TEST(EngineSharding, RuleShadowStateIsNotShared)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine a(smallMachine());
+    ArmMachine b(smallMachine());
+    check::InvariantEngine *ea = a.checkEngine();
+    check::InvariantEngine *eb = b.checkEngine();
+    int dom = 0;
+
+    // Open a ws-pairing epoch for the same (domain, cpu) key in both
+    // engines. With shared shadow state the second begin would be flagged
+    // as "toVm entered twice"; private ledgers stay quiet.
+    ea->worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    eb->worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    EXPECT_EQ(ea->violationCount("ws-pairing"), 0u);
+    EXPECT_EQ(eb->violationCount("ws-pairing"), 0u);
+
+    // A genuine double entry in A is still caught — and only in A.
+    ea->worldSwitchBegin(&dom, 0, SwitchDir::ToVm);
+    EXPECT_EQ(ea->violationCount("ws-pairing"), 1u);
+    EXPECT_EQ(eb->violationCount("ws-pairing"), 0u);
+}
+
+TEST(EngineSharding, FacadePropagatesModeToLiveEngines)
+{
+    // Machine constructed before any ScopedCheckMode (VgicRuleTest
+    // pattern): it inherits whatever mode the facade currently carries
+    // (Off by default, or the KVMARM_CHECK env selection under the CI
+    // enforce leg), and a later facade setMode must reach it.
+    ArmMachine machine(smallMachine());
+    EXPECT_EQ(machine.checkEngine()->mode(), check::engine().mode());
+    {
+        ScopedCheckMode scoped(CheckMode::Enforce);
+        EXPECT_EQ(machine.checkEngine()->mode(), CheckMode::Enforce);
+        EXPECT_THROW(machine.cpu(0).hypSys("vttbr"), FatalError);
+    }
+    // Scope exit turns every engine back off and clears its log.
+    EXPECT_EQ(machine.checkEngine()->mode(), CheckMode::Off);
+    EXPECT_EQ(machine.checkEngine()->violationCount(), 0u);
+}
+
 #endif // KVMARM_INVARIANTS_ENABLED
 
 } // namespace

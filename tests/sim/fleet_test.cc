@@ -1,15 +1,22 @@
 /**
  * @file
  * Fleet executor tests: job completion across thread counts, round-robin
- * dealing with job stealing, error capture, and queue reuse.
+ * dealing with job stealing, error capture, late-submission rejection,
+ * fault-injection isolation, and queue reuse.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "arm/machine.hh"
+#include "core/kvm.hh"
+#include "host/kernel.hh"
 #include "sim/fleet.hh"
 #include "sim/logging.hh"
 
@@ -111,6 +118,129 @@ TEST(Fleet, RejectsEmptyJob)
 {
     Fleet fleet(1);
     EXPECT_THROW(fleet.add("hollow", Fleet::JobFn{}), FatalError);
+}
+
+TEST(Fleet, AddDuringRunIsAHardError)
+{
+    // The round-robin deal happens before any worker starts, so a job
+    // submitted mid-run would be silently dropped; it must fail loudly
+    // instead. The misuse comes from a job body — the one place it can
+    // happen after run() begins.
+    Fleet fleet(2);
+    fleet.add("late-submitter", [&fleet] {
+        fleet.add("too-late", [] {});
+    });
+    fleet.add("innocent", [] {});
+
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("while run() is in progress"),
+              std::string::npos)
+        << results[0].error;
+    EXPECT_TRUE(results[1].ok);
+
+    // The fleet survives the misuse: submission works again after run().
+    bool ran = false;
+    fleet.add("after", [&ran] { ran = true; });
+    EXPECT_TRUE(fleet.run()[0].ok);
+    EXPECT_TRUE(ran);
+}
+
+/** Everything observable a full-stack VM job produced. */
+struct VmOutcome
+{
+    Cycles simCycles = 0;
+    std::string statDump;
+};
+
+/**
+ * One self-contained full-stack VM (machine + host kernel + KVM + 1-VCPU
+ * guest) with an index-dependent workload mix. When @p fail is set the
+ * guest runs a truncated workload and the job throws before producing any
+ * results, modelling a VM job dying half-way through a fleet run while
+ * other jobs are still in flight.
+ */
+VmOutcome
+runFleetVm(unsigned index, bool fail = false)
+{
+    VmOutcome out;
+    arm::ArmMachine::Config mc;
+    mc.numCpus = 1;
+    mc.ramSize = 64 * kMiB;
+    arm::ArmMachine machine(mc);
+    host::HostKernel hostk(machine);
+    core::Kvm kvm(hostk, core::KvmConfig{});
+
+    machine.cpu(0).setEntry([&] {
+        arm::ArmCpu &cpu = machine.cpu(0);
+        hostk.boot(0);
+        ASSERT_TRUE(kvm.initCpu(cpu));
+        std::unique_ptr<core::Vm> vm = kvm.createVm(32 * kMiB);
+        core::VCpu &vcpu = vm->addVcpu(0);
+
+        vcpu.run(cpu, [&](arm::ArmCpu &c) {
+            Cycles sim0 = c.now();
+            const Addr page = vm->ramBase() + 0x4000;
+            for (std::uint64_t i = 0; i < 500 + 100 * index; ++i)
+                c.memRead(page + ((i & 31) * 8), 4);
+            if (fail)
+                return; // dies before finishing its workload
+            for (std::uint64_t i = 0; i < 50 + 10 * index; ++i)
+                c.hvc(core::hvc::kTestHypercall);
+            out.simCycles = c.now() - sim0;
+        });
+    });
+    machine.run();
+    if (fail)
+        fatal("fleet-test: injected VM failure");
+
+    std::ostringstream os;
+    machine.cpu(0).stats().dump(os, "cpu0.");
+    out.statDump = os.str();
+    return out;
+}
+
+TEST(Fleet, FaultInjectedJobLeavesSurvivorsBitIdentical)
+{
+    // Reference run: 6 VMs, nobody fails.
+    constexpr unsigned kVms = 6;
+    std::vector<VmOutcome> clean(kVms);
+    {
+        Fleet fleet(4);
+        for (unsigned i = 0; i < kVms; ++i) {
+            fleet.add("vm" + std::to_string(i),
+                      [i, &clean] { clean[i] = runFleetVm(i); });
+        }
+        for (const Fleet::JobResult &r : fleet.run())
+            ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+    }
+
+    // Same fleet, but VM 2 throws mid-workload.
+    std::vector<VmOutcome> faulty(kVms);
+    Fleet fleet(4);
+    for (unsigned i = 0; i < kVms; ++i) {
+        fleet.add("vm" + std::to_string(i), [i, &faulty] {
+            faulty[i] = runFleetVm(i, /*fail=*/i == 2);
+        });
+    }
+    std::vector<Fleet::JobResult> results = fleet.run();
+
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_NE(results[2].error.find("injected VM failure"),
+              std::string::npos);
+    EXPECT_EQ(fleet.stats().jobsRun, kVms);
+
+    // Every surviving VM's simulated execution is bit-identical to the
+    // no-failure fleet: a dying job takes nothing and disturbs nothing.
+    for (unsigned i = 0; i < kVms; ++i) {
+        if (i == 2)
+            continue;
+        SCOPED_TRACE("vm" + std::to_string(i));
+        EXPECT_TRUE(results[i].ok) << results[i].error;
+        EXPECT_GT(faulty[i].simCycles, 0u);
+        EXPECT_EQ(faulty[i].simCycles, clean[i].simCycles);
+        EXPECT_EQ(faulty[i].statDump, clean[i].statDump);
+    }
 }
 
 TEST(Fleet, WallTimeIsMeasuredPerJob)

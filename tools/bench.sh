@@ -42,6 +42,15 @@ if not isinstance(doc, dict):
 if "schema_version" in doc:
     if not doc.get("current"):
         sys.exit(f"bench.sh: {path}: missing or empty 'current' section")
+    if doc.get("bench") in ("host_tput", "fleet_tput"):
+        # The throughput benches must record which KVMARM_CHECK modes the
+        # run covered ("off,enforce", or "disabled" under the
+        # -DKVMARM_INVARIANTS=OFF kill switch).
+        mode = doc.get("kvmarm_check")
+        if mode not in ("off,enforce", "disabled"):
+            sys.exit(
+                f"bench.sh: {path}: missing or invalid 'kvmarm_check' "
+                f"field (got {mode!r})")
 elif "benchmarks" in doc:
     if not doc["benchmarks"]:
         sys.exit(f"bench.sh: {path}: empty 'benchmarks' array")
@@ -54,6 +63,11 @@ EOF
         # Minimal fallback: the schema marker must at least be present.
         if ! grep -q '"schema_version"\|"benchmarks"' "$file"; then
             echo "bench.sh: $file: no schema marker found" >&2
+            return 1
+        fi
+        if grep -q '"bench": "\(host_tput\|fleet_tput\)"' "$file" &&
+            ! grep -q '"kvmarm_check"' "$file"; then
+            echo "bench.sh: $file: missing 'kvmarm_check' field" >&2
             return 1
         fi
     fi

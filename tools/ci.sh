@@ -26,6 +26,11 @@ leg_release() {
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-ci-release -j"$JOBS"
     run_suite build-ci-release
+    # Fleet determinism must also hold with every machine's invariant
+    # engine live: per-VM sim cycles are compared across thread counts
+    # while each engine checks its own machine.
+    env KVMARM_CHECK=enforce ctest --test-dir build-ci-release \
+        --output-on-failure -R 'FleetDeterminism'
 }
 
 leg_asan() {
@@ -49,6 +54,13 @@ leg_tsan() {
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --test-dir build-ci-tsan --output-on-failure \
         -L sanitize-thread -R '^Fleet'
+    # Enforce-mode fleet under TSan: the per-machine engines' checked hot
+    # path takes no locks, so this is the proof it is race-free.
+    TSAN_OPTIONS=halt_on_error=1 \
+        env KVMARM_CHECK=enforce ctest --test-dir build-ci-tsan \
+        --output-on-failure -L sanitize-thread -R 'FleetDeterminism'
+    # fleet_tput --smoke sweeps both check modes itself (the *_enforce
+    # rows), so one TSan run covers the unchecked and checked hot paths.
     TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_tput --smoke
 }
 
