@@ -7,6 +7,7 @@
 #include "check/rules.hh"
 #include "sim/logging.hh"
 #include "sim/machine_base.hh"
+#include "sim/thread_annotations.hh"
 
 namespace kvmarm::check {
 
@@ -25,11 +26,14 @@ namespace {
  * must not run concurrently with machine execution (callers quiesce the
  * fleet first; tests and benches naturally do).
  */
-std::mutex gRegistryMutex;
-std::vector<InvariantEngine *> gRegistry;
+Mutex gRegistryMutex;
+std::vector<InvariantEngine *> gRegistry KVMARM_GUARDED_BY(gRegistryMutex);
 
-/** The process facade (first Shared-ownership engine, set by instance()). */
-InvariantEngine *gFacade = nullptr;
+/** The process facade (first Shared-ownership engine, set by instance()).
+ *  Atomic rather than registry-guarded: isFacade() runs inside fan-outs
+ *  that already hold gRegistryMutex, and the pointer is written exactly
+ *  once (facade construction) before any concurrent reader exists. */
+std::atomic<InvariantEngine *> gFacade{nullptr};
 
 #if KVMARM_INVARIANTS_ENABLED
 InvariantEngine *
@@ -99,18 +103,24 @@ InvariantEngine::InvariantEngine(Ownership ownership) : ownership_(ownership)
 
     CheckMode initial = CheckMode::Off;
     {
-        std::lock_guard<std::mutex> lock(gRegistryMutex);
-        if (ownership_ == Ownership::Shared && !gFacade)
-            gFacade = this;
+        MutexLock lock(gRegistryMutex);
+        InvariantEngine *facade = gFacade.load(std::memory_order_relaxed);
+        if (ownership_ == Ownership::Shared && !facade) {
+            facade = this;
+            gFacade.store(this, std::memory_order_relaxed);
+        }
         // A machine engine born into a checked process (ScopedCheckMode
         // already active, or KVMARM_CHECK set) starts in the facade's
         // current mode instead of Off.
-        if (gFacade && gFacade != this)
-            initial = gFacade->mode();
+        if (facade && facade != this)
+            initial = facade->mode();
         gRegistry.push_back(this);
     }
 
-    if (this == gFacade) {
+    if (isFacade()) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): facade construction is
+        // single-threaded (static init or first instance() call before
+        // any worker thread starts); nothing calls setenv.
         if (const char *env = std::getenv("KVMARM_CHECK")) {
             if (!std::strcmp(env, "log"))
                 initial = CheckMode::Log;
@@ -127,11 +137,12 @@ InvariantEngine::InvariantEngine(Ownership ownership) : ownership_(ownership)
 
 InvariantEngine::~InvariantEngine()
 {
-    std::lock_guard<std::mutex> lock(gRegistryMutex);
+    MutexLock lock(gRegistryMutex);
     gRegistry.erase(std::remove(gRegistry.begin(), gRegistry.end(), this),
                     gRegistry.end());
-    if (gFacade == this)
-        gFacade = nullptr;
+    InvariantEngine *self = this;
+    gFacade.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_relaxed);
 }
 
 InvariantEngine &
@@ -150,7 +161,7 @@ processEngine()
 bool
 InvariantEngine::isFacade() const
 {
-    return this == gFacade;
+    return this == gFacade.load(std::memory_order_relaxed);
 }
 
 void
@@ -169,7 +180,7 @@ InvariantEngine::setMode(CheckMode m)
         // The facade owns the process-wide mode: fan the change out to
         // every live engine (mode_/active_ are atomics, so this is safe
         // even while machines run on fleet worker threads).
-        std::lock_guard<std::mutex> lock(gRegistryMutex);
+        MutexLock lock(gRegistryMutex);
         for (InvariantEngine *eng : gRegistry) {
             eng->mode_.store(m, std::memory_order_relaxed);
             eng->refreshGate();
@@ -192,7 +203,7 @@ void
 InvariantEngine::reset()
 {
     if (isFacade()) {
-        std::lock_guard<std::mutex> lock(gRegistryMutex);
+        MutexLock lock(gRegistryMutex);
         for (InvariantEngine *eng : gRegistry) {
             OptionalLock elock(*eng);
             eng->violations_.clear();
@@ -224,7 +235,7 @@ InvariantEngine::localViolationCount(const std::string *rule) const
 std::size_t
 InvariantEngine::aggregateViolationCount(const std::string *rule) const
 {
-    std::lock_guard<std::mutex> lock(gRegistryMutex);
+    MutexLock lock(gRegistryMutex);
     std::size_t n = 0;
     for (const InvariantEngine *eng : gRegistry)
         n += eng->localViolationCount(rule);

@@ -57,6 +57,7 @@
 
 #include "arm/hyp_state.hh"
 #include "arm/modes.hh"
+#include "sim/thread_annotations.hh"
 #include "sim/types.hh"
 
 #ifndef KVMARM_INVARIANTS_ENABLED
@@ -344,18 +345,23 @@ class InvariantEngine
 
   private:
     /** Locks the engine mutex only for Shared ownership; a machine
-     *  engine's OptionalLock is a no-op, keeping its hot path lock-free. */
+     *  engine's OptionalLock is a no-op, keeping its hot path lock-free.
+     *  Conditional acquisition is outside clang's lexical thread-safety
+     *  model (and std::recursive_mutex carries no capability attribute),
+     *  so this helper is explicitly exempt from the analysis; its safety
+     *  argument is the Machine/Shared ownership split documented above. */
     class OptionalLock
     {
       public:
         explicit OptionalLock(const InvariantEngine &eng)
+            KVMARM_NO_THREAD_SAFETY_ANALYSIS
             : mutex_(eng.ownership_ == Ownership::Shared ? &eng.mutex_
                                                          : nullptr)
         {
             if (mutex_)
                 mutex_->lock();
         }
-        ~OptionalLock()
+        ~OptionalLock() KVMARM_NO_THREAD_SAFETY_ANALYSIS
         {
             if (mutex_)
                 mutex_->unlock();

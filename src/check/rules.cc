@@ -2,7 +2,6 @@
 
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <utility>
 
 #include "arm/gic.hh"

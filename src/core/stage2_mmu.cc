@@ -1,5 +1,8 @@
 #include "core/stage2_mmu.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "check/invariants.hh"
 #include "sim/logging.hh"
 
@@ -102,7 +105,15 @@ Stage2Mmu::ipaToPa(Addr ipa) const
 void
 Stage2Mmu::releaseAll()
 {
-    for (auto &[ipa, pa] : ramPages_) {
+    // Release in sorted IPA order, not hash-bucket order: putPage()
+    // rebuilds the free list in release order, so bucket-order teardown
+    // would make every post-teardown allocation address depend on the
+    // hash map's internal layout.
+    std::vector<std::pair<Addr, Addr>> pages(
+        // domlint: allow(unordered-iter) — snapshot is sorted below before any order-dependent use
+        ramPages_.begin(), ramPages_.end());
+    std::sort(pages.begin(), pages.end());
+    for (auto &[ipa, pa] : pages) {
         KVMARM_CHECK_ON(mm_.checkEngine(),
                         stage2Unmap(&mm_, vmid_, ipa, pa));
         mm_.putPage(pa);

@@ -56,6 +56,7 @@ class VTimerEmul
 
     Kvm &kvm_;
     /** vcpu -> active host soft-timer id. */
+    // domlint: allow(pointer-order) — lookup-only table (find/erase/insert by key); never iterated, so the pointer hash cannot reach sim state
     std::unordered_map<const VCpu *, std::uint64_t> softTimers_;
 };
 

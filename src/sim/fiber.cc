@@ -30,6 +30,7 @@ void __tsan_switch_to_fiber(void *fiber, unsigned flags);
 namespace kvmarm {
 
 namespace {
+// domlint: allow(ownership-static) — per-thread fiber context: each worker thread runs one machine, so this is machine-owned by construction
 thread_local Fiber *currentFiber = nullptr;
 } // namespace
 

@@ -36,7 +36,7 @@ bool
 Fleet::popOwn(unsigned w, Job &out)
 {
     Worker &worker = *workers_[w];
-    std::lock_guard<std::mutex> lock(worker.mutex);
+    MutexLock lock(worker.mutex);
     if (worker.jobs.empty())
         return false;
     out = std::move(worker.jobs.front());
@@ -53,7 +53,7 @@ Fleet::stealFrom(unsigned thief, Job &out)
     // the tail minimizes contention on the same job slot.
     for (unsigned off = 1; off < threads_; ++off) {
         Worker &victim = *workers_[(thief + off) % threads_];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        MutexLock lock(victim.mutex);
         if (victim.jobs.empty())
             continue;
         out = std::move(victim.jobs.back());
@@ -80,6 +80,7 @@ Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
         res.worker = w;
         res.stolen = stolen;
 
+        // domlint: allow(wall-clock) — measurement only, never feeds sim state
         auto t0 = std::chrono::steady_clock::now();
         try {
             job.fn();
@@ -89,11 +90,12 @@ Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
         } catch (...) {
             res.error = "unknown exception";
         }
+        // domlint: allow(wall-clock) — measurement only, never feeds sim state
         auto t1 = std::chrono::steady_clock::now();
         res.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
 
         {
-            std::lock_guard<std::mutex> lock(statsMutex_);
+            MutexLock lock(statsMutex_);
             ++stats_.jobsRun;
             stats_.jobsStolen += stolen;
         }
@@ -104,19 +106,26 @@ std::vector<Fleet::JobResult>
 Fleet::run()
 {
     std::vector<JobResult> results(pending_.size());
-    stats_ = Stats{};
+    {
+        MutexLock lock(statsMutex_);
+        stats_ = Stats{};
+    }
     if (pending_.empty())
         return results;
 
     // Deal jobs round-robin. Every job is queued before any worker starts,
     // so workers terminate as soon as all deques run dry: no job ever
-    // appears after a worker decided to exit.
+    // appears after a worker decided to exit. No worker is live yet, so
+    // the per-deal locks below are uncontended; they exist to keep the
+    // deques' guarded_by contract exact for the thread-safety analysis.
     workers_.clear();
     for (unsigned w = 0; w < threads_; ++w)
         workers_.push_back(std::make_unique<Worker>());
     for (Job &job : pending_) {
         job.home = static_cast<unsigned>(job.index % threads_);
-        workers_[job.home]->jobs.push_back(std::move(job));
+        Worker &home = *workers_[job.home];
+        MutexLock lock(home.mutex);
+        home.jobs.push_back(std::move(job));
     }
     pending_.clear();
 

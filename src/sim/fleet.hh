@@ -26,9 +26,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "sim/thread_annotations.hh"
 
 namespace kvmarm {
 
@@ -84,8 +85,14 @@ class Fleet
      */
     std::vector<JobResult> run();
 
-    /** Counters from the most recent run(). */
-    const Stats &stats() const { return stats_; }
+    /** Counters from the most recent run(). Quiesced-only: valid once
+     *  run() has returned, when no worker thread is live — the analysis
+     *  is waived here for the same reason. */
+    const Stats &
+    stats() const KVMARM_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return stats_;
+    }
 
   private:
     struct Job
@@ -100,8 +107,8 @@ class Fleet
      *  bodies run outside any lock). */
     struct Worker
     {
-        std::mutex mutex;
-        std::deque<Job> jobs;
+        Mutex mutex;
+        std::deque<Job> jobs KVMARM_GUARDED_BY(mutex);
     };
 
     bool popOwn(unsigned w, Job &out);
@@ -115,8 +122,8 @@ class Fleet
     std::atomic<bool> running_{false};
     std::vector<Job> pending_;
     std::vector<std::unique_ptr<Worker>> workers_;
-    std::mutex statsMutex_;
-    Stats stats_;
+    Mutex statsMutex_;
+    Stats stats_ KVMARM_GUARDED_BY(statsMutex_);
 };
 
 } // namespace kvmarm

@@ -2,8 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "sim/thread_annotations.hh"
 
 namespace kvmarm {
 
@@ -15,18 +16,21 @@ std::atomic<bool> informEnabled{true};
  * Serializes the actual stream writes. Machines running on fleet worker
  * threads share stderr/stdout; each message is formatted into one string
  * first (outside the lock) and emitted under the mutex so lines from
- * different VMs never interleave mid-line.
+ * different VMs never interleave mid-line. The annotated Mutex keeps the
+ * acquire/release pairing visible to clang's thread-safety analysis.
  */
-std::mutex &
+Mutex &
 writerMutex()
 {
-    static std::mutex m;
+    static Mutex m;
     return m;
 }
 
 TraceLevel
 traceLevelFromEnv()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once during static
+    // init, before any fleet worker thread exists; nothing calls setenv.
     const char *env = std::getenv("KVMARM_TRACE");
     if (!env)
         return TraceLevel::Off;
@@ -76,7 +80,7 @@ panic(const char *fmt, ...)
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
     {
-        std::lock_guard<std::mutex> lock(writerMutex());
+        MutexLock lock(writerMutex());
         std::fprintf(stderr, "panic: %s\n", msg.c_str());
     }
     std::abort();
@@ -99,7 +103,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::lock_guard<std::mutex> lock(writerMutex());
+    MutexLock lock(writerMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -112,7 +116,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::lock_guard<std::mutex> lock(writerMutex());
+    MutexLock lock(writerMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
@@ -141,7 +145,7 @@ traceMsg(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::lock_guard<std::mutex> lock(writerMutex());
+    MutexLock lock(writerMutex());
     std::fprintf(stderr, "trace: %s\n", msg.c_str());
 }
 

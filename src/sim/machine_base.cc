@@ -10,7 +10,9 @@ namespace {
 /** Factory hooks registered by the check layer (null until its static
  *  initializer runs; permanently null when invariants are compiled out or
  *  the binary links no check code). */
+// domlint: allow(ownership-static) — written once by the check layer's static initializer before main(); read-only while any machine is live
 MachineBase::CheckEngineCreate gCheckCreate = nullptr;
+// domlint: allow(ownership-static) — written once by the check layer's static initializer before main(); read-only while any machine is live
 MachineBase::CheckEngineDestroy gCheckDestroy = nullptr;
 } // namespace
 

@@ -226,10 +226,14 @@ ArmLinuxPort::protFault()
         editor.map(image_.pgd, va, allocPage(), ro);
         roPageVa_ = va;
     }
+    // Hoist the deref next to the guard: both branches above leave the
+    // optional engaged, and a local keeps that provable for clang-tidy's
+    // unchecked-optional-access flow analysis across the calls below.
+    const Addr roVa = *roPageVa_;
     inProtFaultBench_ = true;
     Mode saved = cpu_.mode();
     cpu_.setMode(Mode::Usr);
-    cpu_.memTouch(*roPageVa_, arm::Access::Write);
+    cpu_.memTouch(roVa, arm::Access::Write);
     cpu_.setMode(saved);
     inProtFaultBench_ = false;
 
@@ -238,9 +242,9 @@ ArmLinuxPort::protFault()
     Perms ro;
     ro.user = true;
     ro.write = false;
-    Addr pa = editor.lookup(image_.pgd, *roPageVa_).value_or(0);
-    editor.map(image_.pgd, *roPageVa_, pageAlignDown(pa), ro);
-    cpu_.tlbiVa(*roPageVa_);
+    Addr pa = editor.lookup(image_.pgd, roVa).value_or(0);
+    editor.map(image_.pgd, roVa, pageAlignDown(pa), ro);
+    cpu_.tlbiVa(roVa);
 }
 
 void

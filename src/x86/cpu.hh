@@ -14,7 +14,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "sim/cpu_base.hh"
 #include "sim/types.hh"

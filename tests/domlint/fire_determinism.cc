@@ -1,0 +1,20 @@
+// domlint fixture — MUST FIRE: wall-clock, rng, build-stamp.
+//
+// Never compiled; scanned by tests/domlint/run_fixtures.sh with
+// `tools/domlint --all-rules --no-hooks`.
+#include <chrono>
+#include <cstdlib>
+
+namespace kvmarm::fixture {
+
+long
+simSeedFromHost()
+{
+    auto now = std::chrono::steady_clock::now();
+    long jitter = rand();
+    const char *stamp = __DATE__ " " __TIME__;
+    (void)stamp;
+    return now.time_since_epoch().count() + jitter;
+}
+
+} // namespace kvmarm::fixture

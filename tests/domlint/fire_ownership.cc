@@ -1,0 +1,21 @@
+// domlint fixture — MUST FIRE: ownership-static (namespace-scope mutable
+// global, thread_local, function-local mutable static) and ownership-sync
+// (mutex/atomic outside the shared-ownership allowlist).
+#include <atomic>
+#include <mutex>
+
+namespace kvmarm::fixture {
+
+int gLiveMachines;
+std::mutex gFixtureMutex;
+std::atomic<int> gEvents{0};
+thread_local int tlsScratch;
+
+int
+nextSerial()
+{
+    static int counter = 0;
+    return ++counter;
+}
+
+} // namespace kvmarm::fixture

@@ -1,0 +1,18 @@
+// domlint fixture — MUST FIRE: suppression (malformed allow comments).
+// The first suppression lacks a justification, so it is itself a finding
+// and does not suppress the wall-clock hit on the next line; the second
+// names a rule id that does not exist.
+#include <chrono>
+
+namespace kvmarm::fixture {
+
+double
+badSuppressions()
+{
+    // domlint: allow(wall-clock)
+    auto t = std::chrono::steady_clock::now();
+    // domlint: allow(not-a-rule) — this rule id does not exist
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace kvmarm::fixture

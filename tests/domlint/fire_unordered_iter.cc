@@ -1,0 +1,32 @@
+// domlint fixture — MUST FIRE: unordered-iter (range-for and iterator
+// walk over an unordered container) and pointer-order (pointer-keyed
+// ordered container).
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace kvmarm::fixture {
+
+struct Obj;
+
+struct PageTable {
+    std::unordered_map<std::uint64_t, std::uint64_t> pages;
+    std::map<Obj *, int> byOwner;
+
+    std::uint64_t
+    releaseAllBucketOrder()
+    {
+        std::uint64_t sum = 0;
+        for (auto &kv : pages)
+            sum += kv.second;
+        return sum;
+    }
+
+    std::uint64_t
+    firstBucketOrder()
+    {
+        return pages.begin()->second;
+    }
+};
+
+} // namespace kvmarm::fixture

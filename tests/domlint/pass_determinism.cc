@@ -1,0 +1,22 @@
+// domlint fixture — MUST PASS: sim-time arithmetic is deterministic, and
+// wall-clock measurement is fine when it carries a justified suppression.
+#include <chrono>
+#include <cstdint>
+
+namespace kvmarm::fixture {
+
+std::uint64_t
+nextDeadline(std::uint64_t now_ticks, std::uint64_t period)
+{
+    return now_ticks + period;
+}
+
+double
+wallSecondsForReport()
+{
+    // domlint: allow(wall-clock) — measurement only, printed in the bench report; never feeds sim state
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace kvmarm::fixture

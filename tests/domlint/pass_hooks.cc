@@ -1,0 +1,21 @@
+// domlint fixture — MUST PASS: the manifest-listed mutator carries its
+// invariant hook. The real macros live in src/check/invariants.hh; the
+// rule only requires the KVMARM_CHECK token inside the definition body.
+#define KVMARM_CHECK_ON(engine, call) ((void)0)
+
+namespace kvmarm::fixture {
+
+struct Stage2 {
+    int maps = 0;
+    void *engine = nullptr;
+    void mapPage(unsigned long ipa, unsigned long pa);
+};
+
+void
+Stage2::mapPage(unsigned long ipa, unsigned long pa)
+{
+    maps += static_cast<int>(ipa != pa);
+    KVMARM_CHECK_ON(engine, stage2Map(ipa, pa));
+}
+
+} // namespace kvmarm::fixture

@@ -1,0 +1,23 @@
+// domlint fixture — MUST PASS: machine-owned state lives in members;
+// immutable statics and constants are fine.
+
+namespace kvmarm::fixture {
+
+constexpr unsigned long kGuestRamBase = 0x40000000;
+
+struct Machine {
+    int counter = 0;
+    unsigned long ticks = 0;
+
+    int nextSerial() { return ++counter; }
+    void advance(unsigned long n) { ticks += n; }
+};
+
+inline const char *
+machineTag()
+{
+    static const char tag[] = "machine";
+    return tag;
+}
+
+} // namespace kvmarm::fixture

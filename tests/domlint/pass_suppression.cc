@@ -1,0 +1,23 @@
+// domlint fixture — MUST PASS: both suppression forms, each with a
+// justification. A standalone comment covers the next non-blank line; a
+// trailing comment covers its own line.
+#include <chrono>
+#include <cstdlib>
+
+namespace kvmarm::fixture {
+
+double
+wallNow()
+{
+    // domlint: allow(wall-clock) — measurement only for the report; never feeds simulated state
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int
+hostNoise()
+{
+    return rand(); // domlint: allow(rng) -- fixture exercising the trailing-comment suppression form
+}
+
+} // namespace kvmarm::fixture

@@ -1,0 +1,36 @@
+// domlint fixture — MUST PASS: unordered containers may be used for
+// lookup, and iteration is fine once the walk is snapshotted and sorted
+// (with the snapshot line carrying the justification).
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace kvmarm::fixture {
+
+struct PageTable {
+    std::unordered_map<std::uint64_t, std::uint64_t> pages;
+
+    std::uint64_t
+    releaseAllSorted()
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> snap(
+            // domlint: allow(unordered-iter) — snapshot is sorted below before any order-dependent use
+            pages.begin(), pages.end());
+        std::sort(snap.begin(), snap.end());
+        std::uint64_t sum = 0;
+        for (auto &[ipa, pa] : snap)
+            sum += ipa ^ pa;
+        return sum;
+    }
+
+    std::uint64_t
+    lookupOnly(std::uint64_t ipa) const
+    {
+        auto it = pages.find(ipa);
+        return it == pages.end() ? 0 : it->second;
+    }
+};
+
+} // namespace kvmarm::fixture

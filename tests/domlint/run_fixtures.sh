@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# ctest driver for the domlint fixture corpus.
+#
+# Every must-fire fixture has to make tools/domlint exit 1 *and* report
+# the expected rule id; every must-pass fixture has to come back clean.
+# Fixtures live outside src/, so they run under --all-rules (the flag
+# that applies every rule regardless of path).
+set -u
+
+cd "$(dirname "$0")/../.."
+D=tests/domlint
+fail=0
+
+expect_fire() { # expect_fire <rule> <domlint-args...>
+    local rule="$1" out rc
+    shift
+    out=$(tools/domlint --all-rules "$@" 2>&1) && rc=0 || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "FAIL: expected exit 1 from 'domlint --all-rules $*' (got $rc)"
+        echo "$out"
+        fail=1
+    elif ! grep -q "domlint\[$rule\]" <<<"$out"; then
+        echo "FAIL: expected a [$rule] finding from 'domlint --all-rules $*'"
+        echo "$out"
+        fail=1
+    else
+        echo "ok (fires $rule): $*"
+    fi
+}
+
+expect_pass() { # expect_pass <domlint-args...>
+    local out rc
+    out=$(tools/domlint --all-rules "$@" 2>&1) && rc=0 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: expected exit 0 from 'domlint --all-rules $*' (got $rc)"
+        echo "$out"
+        fail=1
+    else
+        echo "ok (clean): $*"
+    fi
+}
+
+# Family 1: determinism (wall clock, randomness, build stamps).
+expect_fire wall-clock  --no-hooks "$D/fire_determinism.cc"
+expect_fire rng         --no-hooks "$D/fire_determinism.cc"
+expect_fire build-stamp --no-hooks "$D/fire_determinism.cc"
+expect_pass             --no-hooks "$D/pass_determinism.cc"
+
+# Family 2: ordered iteration.
+expect_fire unordered-iter --no-hooks "$D/fire_unordered_iter.cc"
+expect_fire pointer-order  --no-hooks "$D/fire_unordered_iter.cc"
+expect_pass                --no-hooks "$D/pass_unordered_iter.cc"
+
+# Family 3: hook coverage (fixture-local manifests).
+expect_fire hook-coverage --manifest "$D/fire_hooks.manifest" \
+    "$D/fire_hooks.cc"
+expect_pass               --manifest "$D/pass_hooks.manifest" \
+    "$D/pass_hooks.cc"
+
+# Family 4: ownership.
+expect_fire ownership-static --no-hooks "$D/fire_ownership.cc"
+expect_fire ownership-sync   --no-hooks "$D/fire_ownership.cc"
+expect_pass                  --no-hooks "$D/pass_ownership.cc"
+
+# Suppression grammar.
+expect_fire suppression --no-hooks "$D/fire_suppression.cc"
+expect_pass             --no-hooks "$D/pass_suppression.cc"
+
+exit $fail

@@ -9,7 +9,9 @@
 #   enforce    release binaries, whole suite under KVMARM_CHECK=enforce
 #   nochecks   KVMARM_INVARIANTS=OFF compile check (hooks compile away)
 #   bench      host_tput/fleet_tput --smoke + table3_micro vs the golden
-#   lint       clang-tidy (or strict-GCC fallback) on changed files
+#   domlint    full-tree domlint + the fixture corpus (must-fire/must-pass)
+#   lint       domlint + clang-tidy (or strict-GCC fallback) on changed files
+#   threadsafety  clang -Wthread-safety on the annotated locking TUs
 #   format     tools/format.sh --check
 set -eu
 
@@ -92,15 +94,56 @@ leg_bench() {
     echo "table3_micro matches golden cycle counts"
 }
 
+leg_domlint() {
+    # The domain-aware pass must be clean over the whole tree (every
+    # finding fixed or carrying a justified suppression), and the fixture
+    # corpus proves each rule family still fires and each suppression
+    # form still parses.
+    tools/domlint
+    tests/domlint/run_fixtures.sh
+}
+
 leg_lint() {
     tools/lint.sh --changed
+}
+
+leg_threadsafety() {
+    # Clang thread-safety analysis over the annotated locking surfaces.
+    # sim/thread_annotations.hh expands to no-ops under GCC, so this leg
+    # is the one that actually checks the GUARDED_BY/ACQUIRE/RELEASE
+    # contracts on the invariant-engine facade, the logging writer, and
+    # the fleet deques. Skips (successfully) when clang is not installed
+    # locally; the GitHub workflow installs clang so CI always runs it.
+    local cxx=""
+    for c in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+             clang++-15 clang++-14; do
+        if command -v "$c" >/dev/null 2>&1; then
+            cxx=$c
+            break
+        fi
+    done
+    if [ -z "$cxx" ]; then
+        echo "threadsafety: clang++ not found; skipping (CI installs it)"
+        return 0
+    fi
+    local rc=0
+    for f in src/check/invariants.cc src/sim/logging.cc src/sim/fleet.cc; do
+        echo "$cxx -Wthread-safety $f"
+        "$cxx" -std=c++20 -fsyntax-only -Isrc \
+            -Wthread-safety -Werror=thread-safety-analysis "$f" || rc=1
+    done
+    if [ "$rc" -ne 0 ]; then
+        echo "threadsafety: analysis findings above" >&2
+        return 1
+    fi
+    echo "threadsafety: clean"
 }
 
 leg_format() {
     tools/format.sh --check
 }
 
-legs=${*:-release asan tsan enforce nochecks bench lint format}
+legs=${*:-release asan tsan enforce nochecks bench domlint lint threadsafety format}
 for leg in $legs; do
     echo "==== ci leg: $leg ===="
     "leg_$leg"
