@@ -191,6 +191,12 @@ class ArmCpu : public CpuBase
     void serviceInterrupts() override;
     /// @}
 
+    /// @name Snapshottable (extends CpuBase with the ARM register state)
+    /// @{
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
+
     /// @name Implementation-defined hardware registers (ACTLR group)
     /// @{
     std::uint32_t actlr = 0x00000041;

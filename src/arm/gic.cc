@@ -34,11 +34,39 @@ GicDistributor::raiseSpi(IrqId irq, Cycles when)
     if (irq < kFirstSpi || irq >= kMaxIrqs)
         panic("GicDistributor::raiseSpi: bad irq %u", irq);
     CpuId target = routeSpi(irq);
-    machine_.cpuBase(target).events().schedule(
-        when, [this, irq] {
-            pending_[irq] = true;
-            touch();
-        });
+    std::uint64_t token = nextInflightToken_++;
+    std::uint64_t ev = machine_.cpuBase(target).events().schedule(
+        when, [this, irq, token] { spiDelivered(irq, token); });
+    inflight_.push_back({token, ev, target, false, irq, 0});
+}
+
+void
+GicDistributor::spiDelivered(IrqId irq, std::uint64_t token)
+{
+    dropInflight(token);
+    pending_[irq] = true;
+    touch();
+}
+
+void
+GicDistributor::sgiDelivered(CpuId target, IrqId sgi, CpuId src,
+                             std::uint64_t token)
+{
+    dropInflight(token);
+    setSgiPending(target, sgi, src);
+}
+
+void
+GicDistributor::dropInflight(std::uint64_t token)
+{
+    for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+        if (it->token == token) {
+            inflight_.erase(it);
+            return;
+        }
+    }
+    panic("GicDistributor: delivery fired for unknown in-flight token %llu",
+          static_cast<unsigned long long>(token));
 }
 
 CpuId
@@ -104,9 +132,13 @@ GicDistributor::writeSgir(CpuId src, std::uint32_t value)
         if (t == src) {
             setSgiPending(t, sgi, src);
         } else {
-            machine_.cpuBase(t).events().schedule(
+            std::uint64_t token = nextInflightToken_++;
+            std::uint64_t ev = machine_.cpuBase(t).events().schedule(
                 now + machine_.cost().ipiWire,
-                [this, t, sgi, src] { setSgiPending(t, sgi, src); });
+                [this, t, sgi, src, token] {
+                    sgiDelivered(t, sgi, src, token);
+                });
+            inflight_.push_back({token, ev, t, true, sgi, src});
         }
     }
 }
@@ -295,10 +327,105 @@ GicDistributor::write(CpuId cpu, Addr offset, std::uint64_t value,
     // not modelled; sources behave as edge-triggered once pending).
 }
 
+void
+GicDistributor::saveState(SnapshotWriter &w)
+{
+    w.u32(ctlr_);
+    w.pod(enabled_);
+    w.pod(pending_);
+    w.pod(priority_);
+    w.pod(targets_);
+    w.u32(static_cast<std::uint32_t>(banks_.size()));
+    for (const Bank &b : banks_)
+        w.pod(b);
+    w.u32(static_cast<std::uint32_t>(inflight_.size()));
+    for (const Inflight &f : inflight_)
+        w.pod(f);
+    w.u64(nextInflightToken_);
+}
+
+void
+GicDistributor::restoreState(SnapshotReader &r)
+{
+    ctlr_ = r.u32();
+    r.pod(enabled_);
+    r.pod(pending_);
+    r.pod(priority_);
+    r.pod(targets_);
+    std::uint32_t nbanks = r.u32();
+    if (nbanks != banks_.size())
+        fatal("gicd: snapshot has %u banks, machine has %zu", nbanks,
+              banks_.size());
+    for (Bank &b : banks_)
+        r.pod(b);
+    inflight_.clear();
+    std::uint32_t nflight = r.u32();
+    for (std::uint32_t i = 0; i < nflight; ++i) {
+        Inflight f;
+        r.pod(f);
+        inflight_.push_back(f);
+    }
+    nextInflightToken_ = r.u64();
+    touch(); // drop any memoized bestPending from before the restore
+}
+
+void
+GicDistributor::snapshotRebind()
+{
+    // The in-flight deliveries' events were recreated (callback-less) by
+    // their target CPUs' queue restores; give each one back the exact
+    // callback raiseSpi/writeSgir installed originally.
+    for (const Inflight &f : inflight_) {
+        auto &q = machine_.cpuBase(f.target).events();
+        if (f.isSgi) {
+            q.claim(f.eventId,
+                    [this, t = f.target, sgi = f.irq, src = f.src,
+                     token = f.token] { sgiDelivered(t, sgi, src, token); });
+        } else {
+            q.claim(f.eventId, [this, irq = f.irq, token = f.token] {
+                spiDelivered(irq, token);
+            });
+        }
+    }
+}
+
 GicCpuInterface::GicCpuInterface(ArmMachine &machine, GicDistributor &dist,
                                  unsigned num_cpus)
     : machine_(machine), dist_(dist), banks_(num_cpus)
 {
+}
+
+void
+GicCpuInterface::saveState(SnapshotWriter &w)
+{
+    w.u32(static_cast<std::uint32_t>(banks_.size()));
+    for (const Bank &b : banks_) {
+        w.b(b.enabled);
+        w.u8(b.pmr);
+        w.u32(static_cast<std::uint32_t>(b.activeStack.size()));
+        for (const PendingIrq &p : b.activeStack)
+            w.pod(p);
+    }
+}
+
+void
+GicCpuInterface::restoreState(SnapshotReader &r)
+{
+    std::uint32_t nbanks = r.u32();
+    if (nbanks != banks_.size())
+        fatal("gicc: snapshot has %u banks, machine has %zu", nbanks,
+              banks_.size());
+    for (Bank &b : banks_) {
+        b.enabled = r.b();
+        b.pmr = r.u8();
+        b.activeStack.clear();
+        std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            PendingIrq p;
+            r.pod(p);
+            b.activeStack.push_back(p);
+        }
+    }
 }
 
 Cycles

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/bus.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::arm {
@@ -70,7 +71,7 @@ struct PendingIrq
  * The GIC distributor: global interrupt state and routing. Device models
  * assert wires through raiseSpi/raisePpi; kernels configure it over MMIO.
  */
-class GicDistributor : public MmioDevice
+class GicDistributor : public MmioDevice, public Snapshottable
 {
   public:
     GicDistributor(ArmMachine &machine, unsigned num_cpus);
@@ -111,10 +112,40 @@ class GicDistributor : public MmioDevice
     Cycles accessLatency() const override;
     /// @}
 
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override { return "gicd"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /** Re-claims the in-flight delivery events on their target CPUs'
+     *  restored queues. */
+    void snapshotRebind() override;
+    /// @}
+
   private:
+    /**
+     * A wire assertion scheduled on a target CPU's event queue but not yet
+     * delivered (SPI raise or cross-CPU SGI). Tracked so snapshots can
+     * describe the pending delivery and a restored distributor can rebuild
+     * the exact callback for the restored event.
+     */
+    struct Inflight
+    {
+        std::uint64_t token; //!< distributor-local handle
+        std::uint64_t eventId;
+        CpuId target;
+        bool isSgi;
+        IrqId irq; //!< SPI id, or SGI id when isSgi
+        CpuId src; //!< SGI source CPU
+    };
+
     void writeSgir(CpuId src, std::uint32_t value);
     void setSgiPending(CpuId target, IrqId sgi, CpuId source);
     CpuId routeSpi(IrqId irq) const;
+    void dropInflight(std::uint64_t token);
+    void spiDelivered(IrqId irq, std::uint64_t token);
+    void sgiDelivered(CpuId target, IrqId sgi, CpuId src,
+                      std::uint64_t token);
 
     /** Note a state change that can alter bestPending() results. */
     void touch() { ++version_; }
@@ -154,13 +185,16 @@ class GicDistributor : public MmioDevice
         PendingIrq best;
     };
     mutable std::vector<PendingCache> pendingCache_;
+
+    std::vector<Inflight> inflight_;
+    std::uint64_t nextInflightToken_ = 1;
 };
 
 /**
  * The physical GIC CPU interface (GICC): banked per core; the host kernel
  * ACKs and EOIs hardware interrupts here.
  */
-class GicCpuInterface : public MmioDevice
+class GicCpuInterface : public MmioDevice, public Snapshottable
 {
   public:
     GicCpuInterface(ArmMachine &machine, GicDistributor &dist,
@@ -176,6 +210,13 @@ class GicCpuInterface : public MmioDevice
     void write(CpuId cpu, Addr offset, std::uint64_t value,
                unsigned len) override;
     Cycles accessLatency() const override;
+    /// @}
+
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override { return "gicc"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
     /// @}
 
   private:

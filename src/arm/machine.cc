@@ -20,6 +20,17 @@ ArmMachine::ArmMachine(const Config &config)
         bus_.addDevice(kGichBase, kGicRegionSize, &gich_);
     }
 
+    // Snapshot participants, in a fixed order every ArmMachine shares
+    // (construction order is what lets a clone pair snapshot records with
+    // its own components positionally). CPUs self-register next, then
+    // host/hypervisor layers as they are built on top. gicv_ carries no
+    // state of its own (it proxies gich_) and is not registered.
+    registerSnapshottable(&ram_);
+    registerSnapshottable(&gicd_);
+    registerSnapshottable(&gicc_);
+    registerSnapshottable(&gich_);
+    registerSnapshottable(&timer_);
+
     for (CpuId i = 0; i < config.numCpus; ++i) {
         cpus_.push_back(std::make_unique<ArmCpu>(i, *this));
         registerCpu(cpus_.back().get());

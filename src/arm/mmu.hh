@@ -49,6 +49,25 @@ class Mmu
 
     Tlb &tlb() { return tlb_; }
 
+    /// @name Snapshot support (serialized inside the owning ArmCpu record)
+    /// @{
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.pod(microCode_);
+        w.pod(microData_);
+        tlb_.saveState(w);
+    }
+
+    void
+    restoreState(SnapshotReader &r)
+    {
+        r.pod(microCode_);
+        r.pod(microData_);
+        tlb_.restoreState(r);
+    }
+    /// @}
+
   private:
     /**
      * One-entry "micro-TLB" in front of the set-associative lookup: the

@@ -3,6 +3,7 @@
 #include "arm/cpu.hh"
 #include "arm/gic.hh"
 #include "arm/machine.hh"
+#include "sim/logging.hh"
 
 namespace kvmarm::arm {
 
@@ -86,6 +87,38 @@ GenericTimer::armOne(CpuId cpu, bool virt_timer)
     event = q.schedule(deadline, [this, cpu, virt_timer] {
         fire(cpu, virt_timer);
     });
+}
+
+void
+GenericTimer::saveState(SnapshotWriter &w)
+{
+    w.u32(static_cast<std::uint32_t>(banks_.size()));
+    for (const Bank &b : banks_)
+        w.pod(b);
+}
+
+void
+GenericTimer::restoreState(SnapshotReader &r)
+{
+    std::uint32_t nbanks = r.u32();
+    if (nbanks != banks_.size())
+        fatal("timer: snapshot has %u banks, machine has %zu", nbanks,
+              banks_.size());
+    for (Bank &b : banks_)
+        r.pod(b);
+}
+
+void
+GenericTimer::snapshotRebind()
+{
+    for (CpuId cpu = 0; cpu < banks_.size(); ++cpu) {
+        const Bank &b = banks_[cpu];
+        auto &q = machine_.cpuBase(cpu).events();
+        if (b.physEvent)
+            q.claim(b.physEvent, [this, cpu] { fire(cpu, false); });
+        if (b.virtEvent)
+            q.claim(b.virtEvent, [this, cpu] { fire(cpu, true); });
+    }
 }
 
 void

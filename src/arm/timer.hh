@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::arm {
@@ -35,7 +36,7 @@ struct TimerRegs
 };
 
 /** All generic-timer state of a machine. */
-class GenericTimer
+class GenericTimer : public Snapshottable
 {
   public:
     GenericTimer(ArmMachine &machine, unsigned num_cpus);
@@ -58,6 +59,15 @@ class GenericTimer
 
     /** Re-arm firing events; ArmCpu calls this when CNTVOFF changes. */
     void reprogram(CpuId cpu);
+
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override { return "timer"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /** Claim the armed compare-fire events on the restored CPU queues. */
+    void snapshotRebind() override;
+    /// @}
 
   private:
     struct Bank

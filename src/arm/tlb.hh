@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "arm/pagetable.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::arm {
@@ -83,6 +84,17 @@ class Tlb
     /** Count a lookup outcome (maintained by the MMU). */
     void countHit() { ++hits_; }
     void countMiss() { ++misses_; }
+
+    /// @name Snapshot support (the owning Mmu drives these)
+    ///
+    /// The whole array is serialized — slots, replacement cursors, and
+    /// generation/epoch counters — so a restored machine's TLB is warm in
+    /// exactly the origin's state and every future hit/miss/eviction
+    /// sequence is cycle-identical.
+    /// @{
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r);
+    /// @}
 
   private:
     struct Slot

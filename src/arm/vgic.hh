@@ -96,7 +96,7 @@ struct VgicBank
 /**
  * GICH: the hypervisor's per-CPU control interface for virtual interrupts.
  */
-class VgicHypInterface : public MmioDevice
+class VgicHypInterface : public MmioDevice, public Snapshottable
 {
   public:
     VgicHypInterface(ArmMachine &machine, GicDistributor &dist,
@@ -121,6 +121,13 @@ class VgicHypInterface : public MmioDevice
     void write(CpuId cpu, Addr offset, std::uint64_t value,
                unsigned len) override;
     Cycles accessLatency() const override;
+    /// @}
+
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override { return "gich"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
     /// @}
 
   private:

@@ -68,6 +68,36 @@ HypMem::build()
 }
 
 void
+HypMem::saveState(SnapshotWriter &w)
+{
+    w.u64(root_);
+    w.u64(pages_.size());
+    for (Addr pa : pages_)
+        w.u64(pa);
+}
+
+void
+HypMem::restoreState(SnapshotReader &r)
+{
+    // Retract whatever tables this instance built (none, on a clone) from
+    // the invariant engine, then declare the restored set. No Mm refcount
+    // traffic here: Mm's own restore carries the allocator state.
+    for (Addr pa : pages_)
+        KVMARM_CHECK_ON(mm_.checkEngine(), unprotectPage(&mm_, pa));
+    pages_.clear();
+
+    root_ = r.u64();
+    std::uint64_t npages = r.u64();
+    pages_.reserve(npages);
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        Addr pa = r.u64();
+        pages_.push_back(pa);
+        KVMARM_CHECK_ON(mm_.checkEngine(),
+                        protectPage(&mm_, pa, "hyp-table"));
+    }
+}
+
+void
 HypMem::enableOnCpu(arm::ArmCpu &cpu)
 {
     arm::HypState &h = cpu.hypSys("httbr");

@@ -12,6 +12,7 @@
 
 #include "arm/pagetable.hh"
 #include "host/mm.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::arm {
@@ -22,7 +23,7 @@ class ArmMachine;
 namespace kvmarm::core {
 
 /** Builder/owner of the Hyp-mode Stage-1 tables (shared by all CPUs). */
-class HypMem
+class HypMem : public Snapshottable
 {
   public:
     HypMem(arm::ArmMachine &machine, host::Mm &mm);
@@ -41,6 +42,19 @@ class HypMem
     void enableOnCpu(arm::ArmCpu &cpu);
 
     Addr root() const { return root_; }
+
+    /// @name Snapshottable (Kvm registers this)
+    ///
+    /// Table *contents* live in machine RAM and come back with the RAM
+    /// image; what is serialized here is the ownership bookkeeping (root,
+    /// table-page list, in allocation order). restoreState() replays the
+    /// page-protection invariant events so the restoring machine's engine
+    /// tracks the restored table set, not the construction-time one.
+    /// @{
+    std::string snapshotKey() const override { return "hyp-mem"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
 
   private:
     arm::ArmMachine &machine_;

@@ -1,5 +1,8 @@
 #include "core/kvm.hh"
 
+#include <algorithm>
+
+#include "arm/cpu.hh"
 #include "arm/machine.hh"
 #include "sim/logging.hh"
 
@@ -23,6 +26,81 @@ Kvm::Kvm(host::HostKernel &host, const KvmConfig &config)
       hypMem_(host.machine(), host.mm()), lowvisor_(*this),
       highvisor_(*this), vtimer_(*this)
 {
+    // Fixed registration order (see ArmMachine's constructor): the KVM
+    // layer's stateful components follow the host kernel's. Highvisor is
+    // stateless and not registered.
+    machine().registerSnapshottable(&hypMem_);
+    machine().registerSnapshottable(&lowvisor_);
+    machine().registerSnapshottable(&vtimer_);
+    machine().registerSnapshottable(this);
+}
+
+Kvm::~Kvm()
+{
+    machine().unregisterSnapshottable(this);
+    machine().unregisterSnapshottable(&vtimer_);
+    machine().unregisterSnapshottable(&lowvisor_);
+    machine().unregisterSnapshottable(&hypMem_);
+}
+
+void
+Kvm::unregisterVm(Vm *vm)
+{
+    auto it = std::find(vms_.begin(), vms_.end(), vm);
+    if (it != vms_.end())
+        vms_.erase(it);
+}
+
+Vm *
+Kvm::findVm(std::uint16_t vmid)
+{
+    for (Vm *vm : vms_)
+        if (vm->vmid() == vmid)
+            return vm;
+    return nullptr;
+}
+
+void
+Kvm::saveState(SnapshotWriter &w)
+{
+    w.b(enabled_);
+    w.b(irqHandlersRegistered_);
+    w.u32(nextVmid_);
+    unsigned ncpus = machine().numCpus();
+    w.u32(ncpus);
+    for (CpuId i = 0; i < ncpus; ++i)
+        w.b(machine().cpu(i).hypVectors() == &lowvisor_);
+}
+
+void
+Kvm::restoreState(SnapshotReader &r)
+{
+    enabled_ = r.b();
+    rebindIrqHandlers_ = r.b();
+    // Force re-registration during rebind: a clone's handler table starts
+    // empty, and on a self-restore requestIrq simply overwrites.
+    irqHandlersRegistered_ = false;
+    nextVmid_ = static_cast<std::uint16_t>(r.u32());
+    std::uint32_t ncpus = r.u32();
+    if (ncpus != machine().numCpus())
+        fatal("kvm: snapshot has %u CPUs, machine has %u", ncpus,
+              machine().numCpus());
+    rebindHypOnCpu_.clear();
+    for (std::uint32_t i = 0; i < ncpus; ++i)
+        rebindHypOnCpu_.push_back(r.b());
+}
+
+void
+Kvm::snapshotRebind()
+{
+    if (rebindIrqHandlers_) {
+        rebindIrqHandlers_ = false;
+        registerHostIrqHandlers();
+    }
+    for (CpuId i = 0; i < rebindHypOnCpu_.size(); ++i)
+        if (rebindHypOnCpu_[i])
+            machine().cpu(i).setHypVectors(&lowvisor_);
+    rebindHypOnCpu_.clear();
 }
 
 void

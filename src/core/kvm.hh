@@ -9,6 +9,7 @@
 #define KVMARM_CORE_KVM_HH
 
 #include <memory>
+#include <vector>
 
 #include "core/highvisor.hh"
 #include "core/hyp_mem.hh"
@@ -17,17 +18,19 @@
 #include "core/vm.hh"
 #include "core/vtimer.hh"
 #include "host/kernel.hh"
+#include "sim/snapshot.hh"
 
 namespace kvmarm::core {
 
 /** The KVM/ARM hypervisor module loaded into a host kernel. */
-class Kvm
+class Kvm : public Snapshottable
 {
   public:
     /** @param config Requested features are clamped to what the machine's
      *  hardware provides (no VGIC hardware -> no VGIC use). */
     Kvm(host::HostKernel &host, const KvmConfig &config);
     Kvm(host::HostKernel &host) : Kvm(host, KvmConfig{}) {}
+    ~Kvm() override;
 
     /**
      * Per-CPU initialization, run on each booted CPU: builds the Hyp page
@@ -56,6 +59,36 @@ class Kvm
     /** SGI the host uses to kick a remote VCPU out of guest mode. */
     static constexpr IrqId kKickSgi = 1;
 
+    /// @name VM registry
+    ///
+    /// Live VMs, in creation order. Lets snapshot rebind passes resolve a
+    /// (vmid, vcpu index) pair back to an object — VM-keyed state (e.g.
+    /// armed virtual-timer soft timers) is serialized by id, never by
+    /// pointer. Vm's constructor/destructor maintain the registry.
+    /// @{
+    void registerVm(Vm *vm) { vms_.push_back(vm); }
+    void unregisterVm(Vm *vm);
+    Vm *findVm(std::uint16_t vmid);
+    /// @}
+
+    /**
+     * Clone-construction priming: mark KVM enabled so createVm() can run
+     * on a machine that never booted. A clone rebuilds its VM skeletons
+     * first and then adopts all hypervisor state from the snapshot via
+     * MachineBase::restoreSnapshot(), so per-CPU init never executes.
+     */
+    void primeForRestore() { enabled_ = true; }
+
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override { return "kvm"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /** Re-register host IRQ handlers and reinstall the lowvisor as the
+     *  Hyp vectors on the CPUs that had it installed at snapshot time. */
+    void snapshotRebind() override;
+    /// @}
+
   private:
     void registerHostIrqHandlers();
 
@@ -68,6 +101,11 @@ class Kvm
     bool enabled_ = false;
     bool irqHandlersRegistered_ = false;
     std::uint16_t nextVmid_ = 1;
+    std::vector<Vm *> vms_;
+
+    /** Restore-time scratch consumed by snapshotRebind(). */
+    bool rebindIrqHandlers_ = false;
+    std::vector<bool> rebindHypOnCpu_;
 };
 
 } // namespace kvmarm::core

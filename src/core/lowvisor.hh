@@ -15,6 +15,7 @@
 
 #include "arm/vectors.hh"
 #include "core/world_switch.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::core {
@@ -23,7 +24,7 @@ class Kvm;
 class VCpu;
 
 /** Hyp-mode exception vectors of KVM/ARM. */
-class Lowvisor : public arm::HypVectors
+class Lowvisor : public arm::HypVectors, public Snapshottable
 {
   public:
     explicit Lowvisor(Kvm &kvm);
@@ -40,6 +41,19 @@ class Lowvisor : public arm::HypVectors
     /// @{
     void hypTrap(arm::ArmCpu &cpu, const arm::Hsr &hsr) override;
     const char *name() const override { return "kvm-lowvisor"; }
+    /// @}
+
+    /// @name Snapshottable (Kvm registers this; covers WorldSwitch too)
+    ///
+    /// Snapshots only exist at quiescence: saveState() is fatal if any
+    /// VCPU is resident or queued to enter, so running_/pendingEnter_ are
+    /// serialized implicitly as all-null. The world switch's parked host
+    /// contexts (stale once the per-CPU fibers unwound, but compared by
+    /// nothing and restored verbatim for faithfulness) ride along.
+    /// @{
+    std::string snapshotKey() const override { return "lowvisor"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
     /// @}
 
   private:

@@ -14,12 +14,13 @@
 
 #include "arm/pagetable.hh"
 #include "host/mm.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::core {
 
 /** Owner of one VM's Stage-2 translation tables. */
-class Stage2Mmu
+class Stage2Mmu : public Snapshottable
 {
   public:
     Stage2Mmu(host::Mm &mm, std::uint16_t vmid, Addr ipa_ram_base,
@@ -59,6 +60,21 @@ class Stage2Mmu
     void releaseAll();
 
     std::size_t mappedRamPages() const { return ramPages_.size(); }
+
+    /// @name Snapshottable (Vm registers this)
+    ///
+    /// Table contents come back with the RAM image; this serializes the
+    /// bookkeeping (root, table pages in allocation order, RAM mappings
+    /// sorted by IPA). restoreState() replays the Stage-2 invariant events
+    /// — unmap/unprotect the current state, protect-then-map the restored
+    /// state — so the restoring machine's engine converges on the
+    /// snapshot. Device mappings are not replayed: they are established by
+    /// VM construction, which a clone performs identically.
+    /// @{
+    std::string snapshotKey() const override;
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
 
   private:
     host::Mm &mm_;

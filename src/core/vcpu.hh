@@ -18,6 +18,7 @@
 #include "arm/timer.hh"
 #include "arm/vectors.hh"
 #include "arm/vgic.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -45,10 +46,11 @@ struct VcpuState
 };
 
 /** One virtual CPU, pinned 1:1 to a physical CPU. */
-class VCpu
+class VCpu : public Snapshottable
 {
   public:
     VCpu(Vm &vm, unsigned index, CpuId phys_cpu);
+    ~VCpu() override;
 
     Vm &vm() { return vm_; }
     unsigned index() const { return index_; }
@@ -138,10 +140,25 @@ class VCpu
         CachedCounter emulHypercall;
     } hotStats;
 
+    /// @name Snapshottable (machine-level, for whole-machine clone)
+    ///
+    /// Serializes the full guest context plus run-control flags and the
+    /// per-VCPU stats — distinct from the user-space VcpuState facade
+    /// above, which models only what GET_ONE_REG-era migration moves.
+    /// The guest OS pointer is harness-owned and saved as presence only;
+    /// a clone must setGuestOs() before restoring if one was installed.
+    /// @{
+    std::string snapshotKey() const override;
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    void snapshotVerify() override;
+    /// @}
+
   private:
     Vm &vm_;
     unsigned index_;
     CpuId physCpu_;
+    bool restoredGuestOsPresent_ = false;
 };
 
 } // namespace kvmarm::core

@@ -16,6 +16,7 @@
 
 #include "arm/gic.hh"
 #include "arm/vgic.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::arm {
@@ -28,7 +29,7 @@ class Vm;
 class VCpu;
 
 /** Software GIC distributor state for one VM. */
-class VgicDistEmul
+class VgicDistEmul : public Snapshottable
 {
   public:
     explicit VgicDistEmul(Vm &vm);
@@ -77,6 +78,13 @@ class VgicDistEmul
     /** Cycles charged per emulated distributor access for the software
      *  locking the emulation needs (paper §6). */
     Cycles lockCost() const;
+
+    /// @name Snapshottable (Vm registers this)
+    /// @{
+    std::string snapshotKey() const override;
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
 
   private:
     void writeSgir(arm::ArmCpu &cpu, VCpu &sender, std::uint32_t value);

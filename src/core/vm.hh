@@ -16,6 +16,7 @@
 #include "core/types.hh"
 #include "core/vcpu.hh"
 #include "core/vgic_emul.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::core {
@@ -23,7 +24,7 @@ namespace kvmarm::core {
 class Kvm;
 
 /** One guest virtual machine. */
-class Vm
+class Vm : public Snapshottable
 {
   public:
     Vm(Kvm &kvm, std::uint16_t vmid, Addr guest_ram_size);
@@ -81,6 +82,22 @@ class Vm
     /** Guest-physical address of the in-kernel test device used by the
      *  Table 3 "I/O Kernel" micro-benchmark. */
     static constexpr Addr kKernelTestDevBase = 0x0B000000;
+
+    /// @name Snapshottable
+    ///
+    /// A VM's serializable state lives in its registered components
+    /// (stage2, vdist, vcpus); what the Vm record itself carries is the
+    /// *skeleton* — vmid, RAM geometry, VCPU count, in-kernel device
+    /// regions — which restoreState() cross-checks against this instance,
+    /// because a clone must rebuild the skeleton (createVm / addVcpu /
+    /// addKernelDevice, in origin order) before restoring. Device handler
+    /// and user-MMIO closures cannot be serialized; the rebuild supplies
+    /// them.
+    /// @{
+    std::string snapshotKey() const override;
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
 
   private:
     struct KernelDevice

@@ -1,5 +1,7 @@
 #include "core/vtimer.hh"
 
+#include <algorithm>
+
 #include "arm/cpu.hh"
 #include "arm/machine.hh"
 #include "check/invariants.hh"
@@ -75,18 +77,73 @@ VTimerEmul::onWorldSwitchOut(ArmCpu &cpu, VCpu &vcpu)
         return; // already expired; the hardware PPI is pending/handled
 
     cpu.compute(kvm_.host().costs().softTimerProgram);
+    softTimers_[&vcpu] =
+        kvm_.host().timers().start(cpu.id(), deadline, injectCallback(vcpu));
+}
+
+std::function<void()>
+VTimerEmul::injectCallback(VCpu &vcpu)
+{
     arm::ArmMachine &machine = kvm_.machine();
-    CpuId phys = cpu.id();
+    CpuId phys = vcpu.physCpu();
     VCpu *target = &vcpu;
-    softTimers_[&vcpu] = kvm_.host().timers().start(
-        phys, deadline, [this, &machine, phys, target] {
-            softTimers_.erase(target);
-            // Runs from the host timer context on the VCPU's physical
-            // CPU: raise the virtual timer interrupt via the virtual
-            // distributor (paper §3.6).
-            target->vm().vdist().injectPpi(machine.cpu(phys), *target,
-                                           arm::kVirtTimerPpi);
-        });
+    return [this, &machine, phys, target] {
+        softTimers_.erase(target);
+        // Runs from the host timer context on the VCPU's physical CPU:
+        // raise the virtual timer interrupt via the virtual distributor
+        // (paper §3.6).
+        target->vm().vdist().injectPpi(machine.cpu(phys), *target,
+                                       arm::kVirtTimerPpi);
+    };
+}
+
+void
+VTimerEmul::saveState(SnapshotWriter &w)
+{
+    std::vector<std::tuple<std::uint16_t, std::uint32_t, std::uint64_t>>
+        timers;
+    timers.reserve(softTimers_.size());
+    // domlint: allow(unordered-iter) — snapshot is sorted below before any order-dependent use
+    for (const auto &[vcpu, id] : softTimers_) {
+        timers.emplace_back(const_cast<VCpu *>(vcpu)->vm().vmid(),
+                            vcpu->index(), id);
+    }
+    std::sort(timers.begin(), timers.end());
+    w.u64(timers.size());
+    for (const auto &[vmid, index, id] : timers) {
+        w.u32(vmid);
+        w.u32(index);
+        w.u64(id);
+    }
+}
+
+void
+VTimerEmul::restoreState(SnapshotReader &r)
+{
+    softTimers_.clear();
+    rebindTimers_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint16_t vmid = static_cast<std::uint16_t>(r.u32());
+        std::uint32_t index = r.u32();
+        std::uint64_t id = r.u64();
+        rebindTimers_.emplace_back(vmid, index, id);
+    }
+}
+
+void
+VTimerEmul::snapshotRebind()
+{
+    for (const auto &[vmid, index, id] : rebindTimers_) {
+        Vm *vm = kvm_.findVm(vmid);
+        if (!vm)
+            fatal("vtimer: restored soft timer for unknown VM %u — create "
+                  "the VM before restoring the snapshot", vmid);
+        VCpu *vcpu = vm->vcpu(index);
+        softTimers_[vcpu] = id;
+        kvm_.host().timers().rehydrate(id, injectCallback(*vcpu));
+    }
+    rebindTimers_.clear();
 }
 
 void
@@ -142,16 +199,8 @@ VTimerEmul::emulateTrappedAccess(ArmCpu &cpu, VCpu &vcpu, TimerAccess which,
                 Cycles deadline = vcpu.vtimerShadow.cval + vcpu.cntvoff;
                 if (deadline <= cpu.now())
                     deadline = cpu.now() + 1;
-                arm::ArmMachine &machine = kvm_.machine();
-                CpuId phys = vcpu.physCpu();
-                VCpu *target = &vcpu;
                 softTimers_[&vcpu] = kvm_.host().timers().start(
-                    phys, deadline, [this, &machine, phys, target] {
-                        softTimers_.erase(target);
-                        target->vm().vdist().injectPpi(machine.cpu(phys),
-                                                       *target,
-                                                       arm::kVirtTimerPpi);
-                    });
+                    vcpu.physCpu(), deadline, injectCallback(vcpu));
             }
             return;
           }

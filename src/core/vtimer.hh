@@ -11,9 +11,13 @@
 #define KVMARM_CORE_VTIMER_HH
 
 #include <cstdint>
+#include <functional>
+#include <tuple>
 #include <unordered_map>
+#include <vector>
 
 #include "arm/hsr.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::arm {
@@ -26,7 +30,7 @@ class Kvm;
 class VCpu;
 
 /** KVM/ARM's virtual timer logic. */
-class VTimerEmul
+class VTimerEmul : public Snapshottable
 {
   public:
     explicit VTimerEmul(Kvm &kvm);
@@ -51,13 +55,33 @@ class VTimerEmul
                               arm::TimerAccess which, bool is_write,
                               std::uint32_t ctl, std::uint64_t cval);
 
+    /// @name Snapshottable (Kvm registers this)
+    ///
+    /// Armed soft timers are serialized as (vmid, vcpu index, timer id)
+    /// tuples — never by pointer — and resolved back to VCpu objects via
+    /// the Kvm VM registry during rebind, where each timer's injection
+    /// callback is re-attached through SoftTimers::rehydrate().
+    /// @{
+    std::string snapshotKey() const override { return "vtimer"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    void snapshotRebind() override;
+    /// @}
+
   private:
     void cancelSoftTimer(VCpu &vcpu);
 
+    /** The §3.6 injection a parked soft timer performs when it fires. */
+    std::function<void()> injectCallback(VCpu &vcpu);
+
     Kvm &kvm_;
     /** vcpu -> active host soft-timer id. */
-    // domlint: allow(pointer-order) — lookup-only table (find/erase/insert by key); never iterated, so the pointer hash cannot reach sim state
+    // domlint: allow(pointer-order) — lookup-only table (find/erase/insert by key); the one iteration, in saveState, sorts by (vmid, vcpu) before any order-dependent use
     std::unordered_map<const VCpu *, std::uint64_t> softTimers_;
+
+    /** Restore-time scratch consumed by snapshotRebind(). */
+    std::vector<std::tuple<std::uint16_t, std::uint32_t, std::uint64_t>>
+        rebindTimers_;
 };
 
 } // namespace kvmarm::core

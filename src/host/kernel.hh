@@ -13,12 +13,14 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "arm/machine.hh"
 #include "arm/pagetable.hh"
 #include "arm/vectors.hh"
 #include "host/mm.hh"
 #include "host/timers.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::host {
@@ -37,7 +39,7 @@ struct HostCosts
  * The host Linux kernel. One instance per machine; boots on every CPU and
  * serves as the PL1 OsVectors for host execution contexts.
  */
-class HostKernel : public arm::OsVectors
+class HostKernel : public arm::OsVectors, public Snapshottable
 {
   public:
     struct Config
@@ -51,6 +53,7 @@ class HostKernel : public arm::OsVectors
 
     HostKernel(arm::ArmMachine &machine, const Config &config);
     HostKernel(arm::ArmMachine &machine) : HostKernel(machine, Config{}) {}
+    ~HostKernel() override;
 
     /**
      * Bring up one CPU: on cpu0 also builds the kernel identity mappings
@@ -102,6 +105,23 @@ class HostKernel : public arm::OsVectors
     const char *name() const override { return "host-linux"; }
     /// @}
 
+    /// @name Snapshottable
+    ///
+    /// Per-CPU vector pointers are saved as *kinds* (null / hyp-stub /
+    /// hypervisor-owned, null / host-kernel) and rebound to this instance's
+    /// own objects on restore; a hypervisor-owned Hyp vector slot is left
+    /// for the KVM layer's own rebind pass (it registers after us). IRQ
+    /// handlers are std::functions their owners must re-register during
+    /// rebind — snapshotVerify() checks the restored presence mask against
+    /// what actually got re-registered.
+    /// @{
+    std::string snapshotKey() const override { return "host-kernel"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    void snapshotRebind() override;
+    void snapshotVerify() override;
+    /// @}
+
   private:
     /** Boot-time stub occupying the Hyp vector slot (paper §4): its only
      *  job is to let the kernel re-enter Hyp mode later. */
@@ -123,6 +143,10 @@ class HostKernel : public arm::OsVectors
     void buildKernelTables();
     void initGicOnCpu(arm::ArmCpu &cpu);
 
+    /** How a CPU's vector-base pointer is encoded in a snapshot. */
+    enum class HypOwner : std::uint8_t { None = 0, Stub = 1, Hypervisor = 2 };
+    enum class OsOwner : std::uint8_t { None = 0, Host = 1 };
+
     arm::ArmMachine &machine_;
     Config config_;
     Mm mm_;
@@ -130,6 +154,12 @@ class HostKernel : public arm::OsVectors
     HypStub stub_;
     Addr kernelPgd_ = 0;
     std::array<IrqHandler, arm::kMaxIrqs> handlers_{};
+
+    /** Restore-time scratch consumed by snapshotRebind()/snapshotVerify(). */
+    std::vector<HypOwner> restoredHyp_;
+    std::vector<OsOwner> restoredOs_;
+    std::array<bool, arm::kMaxIrqs> restoredHandlerMask_{};
+    bool verifyRestore_ = false;
 };
 
 } // namespace kvmarm::host

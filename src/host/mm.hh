@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mem/phys_mem.hh"
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::check {
@@ -24,7 +25,7 @@ class InvariantEngine;
 namespace kvmarm::host {
 
 /** Page-frame allocator with per-page refcounts. */
-class Mm
+class Mm : public Snapshottable
 {
   public:
     /**
@@ -69,6 +70,17 @@ class Mm
 
     /** The RAM this allocator manages. */
     PhysMem &ram() { return ram_; }
+
+    /// @name Snapshottable (HostKernel registers/unregisters this)
+    ///
+    /// The free list is serialized *verbatim*: its order decides every
+    /// future allocPage() address, so restoring it exactly is what makes
+    /// a clone's post-restore allocations bit-identical to the origin's.
+    /// @{
+    std::string snapshotKey() const override { return "mm"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
 
   private:
     PhysMem &ram_;

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <unordered_map>
 
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm {
@@ -21,7 +23,7 @@ class MachineBase;
 namespace kvmarm::host {
 
 /** hrtimer-like facade over the per-CPU event queues. */
-class SoftTimers
+class SoftTimers : public Snapshottable
 {
   public:
     using Callback = std::function<void()>;
@@ -36,6 +38,25 @@ class SoftTimers
 
     std::size_t active() const { return live_.size(); }
 
+    /**
+     * Re-attach the callback of a timer that came back from a snapshot.
+     * Timer callbacks are owner-supplied closures SoftTimers cannot
+     * serialize, so restoreState() leaves each live timer pending and the
+     * owning component (e.g. kvm::VTimerEmul) supplies an equivalent
+     * callback from its own rebind pass. Fatal if @p id is not a live,
+     * pending-rehydrate timer.
+     */
+    void rehydrate(std::uint64_t id, Callback cb);
+
+    /// @name Snapshottable (HostKernel registers/unregisters this)
+    /// @{
+    std::string snapshotKey() const override { return "soft-timers"; }
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /** Fatal if any restored timer was never rehydrate()d. */
+    void snapshotVerify() override;
+    /// @}
+
   private:
     MachineBase &machine_;
     std::uint64_t nextId_ = 1;
@@ -45,6 +66,8 @@ class SoftTimers
         std::uint64_t eventId;
     };
     std::unordered_map<std::uint64_t, Rec> live_;
+    /** Restored timer ids whose owner has not called rehydrate() yet. */
+    std::set<std::uint64_t> pendingRehydrate_;
 };
 
 } // namespace kvmarm::host

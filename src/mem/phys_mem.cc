@@ -1,6 +1,8 @@
 #include "mem/phys_mem.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -27,6 +29,26 @@ PhysMem::checkRange(Addr pa, Addr len) const
               static_cast<unsigned long long>(base_), static_cast<unsigned long long>(size_));
 }
 
+void
+PhysMem::cachePrivate(Addr frame, Page *pg) const
+{
+    cachedFrame_ = frame;
+    cachedPage_ = pg;
+    // Keep the read cache coherent: it may still point at the shared image
+    // copy of this frame, which just became stale for this machine.
+    readFrame_ = frame;
+    readPage_ = pg;
+}
+
+void
+PhysMem::invalidateCaches() const
+{
+    cachedFrame_ = ~static_cast<Addr>(0);
+    cachedPage_ = nullptr;
+    readFrame_ = ~static_cast<Addr>(0);
+    readPage_ = nullptr;
+}
+
 PhysMem::Page &
 PhysMem::pageFor(Addr pa)
 {
@@ -36,10 +58,37 @@ PhysMem::pageFor(Addr pa)
     auto &slot = pages_[frame];
     if (!slot) {
         slot = std::make_unique<Page>();
-        slot->fill(0);
+        const Page *shared = nullptr;
+        if (image_) {
+            auto it = image_->pages.find(frame);
+            if (it != image_->pages.end())
+                shared = it->second.get();
+        }
+        if (shared) {
+            // COW fault: first write to a page still shared with the
+            // snapshot image; copy it into a machine-private page.
+            *slot = *shared;
+            ++cowFaults_;
+        } else {
+            slot->fill(0);
+        }
     }
-    cachedFrame_ = frame;
-    cachedPage_ = slot.get();
+    cachePrivate(frame, slot.get());
+    return *slot;
+}
+
+PhysMem::Page &
+PhysMem::pageForZero(Addr pa)
+{
+    // Like pageFor, but the caller is about to zero the whole page, so a
+    // shared image page is *not* copied first.
+    Addr frame = pageAlignDown(pa);
+    if (frame == cachedFrame_)
+        return *cachedPage_;
+    auto &slot = pages_[frame];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    cachePrivate(frame, slot.get());
     return *slot;
 }
 
@@ -47,14 +96,23 @@ const PhysMem::Page *
 PhysMem::pageForRead(Addr pa) const
 {
     Addr frame = pageAlignDown(pa);
-    if (frame == cachedFrame_)
-        return cachedPage_;
+    if (frame == readFrame_)
+        return readPage_;
     auto it = pages_.find(frame);
-    if (it == pages_.end())
-        return nullptr;
-    cachedFrame_ = frame;
-    cachedPage_ = it->second.get();
-    return it->second.get();
+    if (it != pages_.end()) {
+        readFrame_ = frame;
+        readPage_ = it->second.get();
+        return readPage_;
+    }
+    if (image_) {
+        auto jt = image_->pages.find(frame);
+        if (jt != image_->pages.end()) {
+            readFrame_ = frame;
+            readPage_ = jt->second.get();
+            return readPage_;
+        }
+    }
+    return nullptr;
 }
 
 std::uint64_t
@@ -123,7 +181,76 @@ PhysMem::zeroPage(Addr pa)
     checkRange(pa, kPageSize);
     if (!isPageAligned(pa))
         panic("PhysMem::zeroPage: unaligned %#llx", static_cast<unsigned long long>(pa));
-    pageFor(pa).fill(0);
+    pageForZero(pa).fill(0);
+}
+
+std::size_t
+PhysMem::touchedPages() const
+{
+    if (!image_)
+        return pages_.size();
+    std::size_t n = pages_.size();
+    for (const auto &[frame, pg] : image_->pages) {
+        if (!pages_.count(frame))
+            ++n;
+    }
+    return n;
+}
+
+void
+PhysMem::saveState(SnapshotWriter &w)
+{
+    // Publish every page this machine can currently see into one immutable
+    // image: the previous image's pages (clone-of-clone chains flatten
+    // here) overlaid with this machine's private pages. The private pages
+    // move into the image without copying bytes, and this PhysMem becomes
+    // a COW client of the new image — symmetric with every clone, so the
+    // origin and its clones fault identically from here on.
+    auto img = std::make_shared<SnapshotImage>();
+    if (image_)
+        img->pages = image_->pages;
+    std::vector<Addr> frames;
+    frames.reserve(pages_.size());
+    // domlint: allow(unordered-iter) — snapshot is sorted below before any order-dependent use
+    for (auto &[frame, pg] : pages_)
+        frames.push_back(frame);
+    std::sort(frames.begin(), frames.end());
+    for (Addr frame : frames) {
+        auto it = pages_.find(frame);
+        img->pages[frame] = std::shared_ptr<const Page>(it->second.release());
+    }
+    pages_.clear();
+    image_ = img;
+    invalidateCaches();
+
+    w.u64(base_);
+    w.u64(size_);
+    w.u64(cowFaults_);
+    w.attach(std::static_pointer_cast<const void>(
+        std::shared_ptr<const SnapshotImage>(img)));
+}
+
+void
+PhysMem::restoreState(SnapshotReader &r)
+{
+    Addr base = r.u64();
+    Addr size = r.u64();
+    if (base != base_ || size != size_)
+        fatal("PhysMem::restoreState: snapshot RAM [%#llx,+%llu) does not "
+              "match this machine's [%#llx,+%llu)",
+              static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(size),
+              static_cast<unsigned long long>(base_),
+              static_cast<unsigned long long>(size_));
+    cowFaults_ = r.u64();
+    auto img = std::static_pointer_cast<const SnapshotImage>(r.attachment());
+    if (!img)
+        fatal("PhysMem::restoreState: record carries no page image");
+    image_ = std::move(img);
+    // Whatever this machine wrote before the restore (boot-time page-table
+    // scribbles from its own construction) is superseded by the image.
+    pages_.clear();
+    invalidateCaches();
 }
 
 } // namespace kvmarm

@@ -6,6 +6,15 @@
  * only what the workload actually writes. Contents are real bytes: virtio
  * rings, migration state checks, and the isolation property tests read them
  * back.
+ *
+ * Snapshot support is copy-on-write at page granularity: saveState()
+ * publishes every materialized page into an immutable shared image and
+ * turns this PhysMem into a COW client of it; restoreState() adopts the
+ * same image. Reads hit shared image pages directly; the first write to a
+ * shared page faults a private machine-owned copy. Any number of machines
+ * (origin included) may share one image across host threads — the image is
+ * read-only for its whole lifetime, and every mutable page is private to
+ * exactly one machine.
  */
 
 #ifndef KVMARM_MEM_PHYS_MEM_HH
@@ -13,15 +22,17 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm {
 
 /** Byte-addressable sparse physical memory covering [base, base+size). */
-class PhysMem
+class PhysMem : public Snapshottable
 {
   public:
     /**
@@ -51,30 +62,72 @@ class PhysMem
     /** Zero-fill a page (used when handing fresh pages to a VM). */
     void zeroPage(Addr pa);
 
-    /** Number of pages materialized so far (for footprint stats). */
-    std::size_t touchedPages() const { return pages_.size(); }
+    /** Number of distinct pages materialized (private + shared-only). */
+    std::size_t touchedPages() const;
+
+    /// @name COW introspection
+    /// @{
+    /** Writes that had to copy a shared image page into a private one. */
+    std::uint64_t cowFaults() const { return cowFaults_; }
+    /** Pages this machine owns privately (written since snapshot). */
+    std::size_t privatePages() const { return pages_.size(); }
+    /** Pages still shared read-only with the snapshot image. */
+    std::size_t sharedPages() const { return image_ ? image_->pages.size() : 0; }
+    /// @}
+
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override { return "ram"; }
+    /** Publishes the page image and becomes a COW client of it (this is
+     *  why Snapshottable::saveState is non-const). */
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /// @}
 
   private:
     using Page = std::array<std::uint8_t, kPageSize>;
 
+    /**
+     * The immutable page set a snapshot publishes. An ordered map so that
+     * anything walking it (touchedPages, future dirty-page diffing) is
+     * deterministic without sorting. Never mutated after construction.
+     */
+    struct SnapshotImage
+    {
+        std::map<Addr, std::shared_ptr<const Page>> pages;
+    };
+
     Page &pageFor(Addr pa);
+    Page &pageForZero(Addr pa);
     const Page *pageForRead(Addr pa) const;
     void checkRange(Addr pa, Addr len) const;
+    void cachePrivate(Addr frame, Page *pg) const;
+    void invalidateCaches() const;
 
     Addr base_;
     Addr size_;
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
 
+    /** Shared snapshot image this PhysMem reads through (null before any
+     *  snapshot). Read-only; shared with every clone of the snapshot. */
+    std::shared_ptr<const SnapshotImage> image_;
+
+    std::uint64_t cowFaults_ = 0;
+
     /**
-     * Last page touched: accesses cluster heavily (code fetch, stack, the
-     * active buffer), so this turns most hash lookups into one compare.
-     * Pages live as long as the PhysMem and never move (they are separate
-     * heap allocations owned by the map), so a cached pointer stays good
-     * forever; only materialized pages are cached, so it can't go stale
-     * the other way either.
+     * Last pages touched: accesses cluster heavily (code fetch, stack, the
+     * active buffer), so these turn most hash lookups into one compare.
+     * Private pages live as long as the PhysMem and never move, and image
+     * pages live as long as the image_ reference, so cached pointers stay
+     * good until the maps change. The write cache only ever holds private
+     * pages; the read cache may hold a shared image page, which is why the
+     * two are separate — a write to a read-cached shared page must still
+     * take the COW fault path.
      */
     mutable Addr cachedFrame_ = ~static_cast<Addr>(0);
     mutable Page *cachedPage_ = nullptr;
+    mutable Addr readFrame_ = ~static_cast<Addr>(0);
+    mutable const Page *readPage_ = nullptr;
 };
 
 } // namespace kvmarm

@@ -13,6 +13,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -23,8 +24,14 @@ class MachineBase;
 /**
  * Base class for ArmCpu and X86Cpu. Owns the per-CPU clock and event queue
  * and cooperates with MachineBase's min-clock scheduler.
+ *
+ * Every CPU is Snapshottable: the base class serializes the clock, idle
+ * accounting, event queue, and stats; architectures override
+ * saveState/restoreState (calling the base first) to add their register
+ * state. CPUs self-register on the machine at construction, so derived
+ * machines get snapshot coverage of the sim-level CPU state for free.
  */
-class CpuBase
+class CpuBase : public Snapshottable
 {
   public:
     CpuBase(CpuId id, MachineBase &machine);
@@ -102,6 +109,15 @@ class CpuBase
     }
     /** Clock the scheduler should use to order this CPU. */
     Cycles effectiveClock() const;
+    /// @}
+
+    /// @name Snapshottable
+    /// @{
+    std::string snapshotKey() const override;
+    void saveState(SnapshotWriter &w) override;
+    void restoreState(SnapshotReader &r) override;
+    /** Restored events must all have been claimed by their owners. */
+    void snapshotVerify() override;
     /// @}
 
   protected:

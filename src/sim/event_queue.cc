@@ -1,9 +1,9 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
-#include <memory>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace kvmarm {
 
@@ -11,12 +11,39 @@ EventQueue::~EventQueue()
 {
     for (Event *ev : heap_)
         delete ev;
+    for (Event *ev : pool_)
+        delete ev;
+}
+
+EventQueue::Event *
+EventQueue::allocEvent()
+{
+    if (!pool_.empty()) {
+        Event *ev = pool_.back();
+        pool_.pop_back();
+        return ev;
+    }
+    ++heapAllocs_;
+    return new Event{};
+}
+
+void
+EventQueue::recycle(Event *ev)
+{
+    ev->cb = nullptr; // release the closure's captures now, not at reuse
+    pool_.push_back(ev);
 }
 
 std::uint64_t
-EventQueue::schedule(Cycles when, Callback cb)
+EventQueue::schedule(Cycles when, Callback cb, Kind kind)
 {
-    auto *ev = new Event{when, nextSeq_++, nextId_++, std::move(cb), false};
+    Event *ev = allocEvent();
+    ev->when = when;
+    ev->seq = nextSeq_++;
+    ev->id = nextId_++;
+    ev->kind = kind;
+    ev->cb = std::move(cb);
+    ev->cancelled = false;
     heap_.push_back(ev);
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
@@ -61,14 +88,99 @@ EventQueue::runDue(Cycles now)
             break;
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
         heap_.pop_back();
-        std::unique_ptr<Event> ev(head);
-        if (!ev->cancelled) {
+        bool due = !head->cancelled;
+        Callback cb = std::move(head->cb);
+        // Recycle before running: cb may schedule and immediately reuse it.
+        recycle(head);
+        if (due) {
             --live_;
             ++ran;
-            ev->cb();
+            cb();
         }
     }
     return ran;
+}
+
+void
+EventQueue::saveState(SnapshotWriter &w) const
+{
+    std::vector<const Event *> live;
+    live.reserve(live_);
+    for (const Event *ev : heap_) {
+        if (!ev->cancelled)
+            live.push_back(ev);
+    }
+    std::sort(live.begin(), live.end(), [](const Event *a, const Event *b) {
+        if (a->when != b->when)
+            return a->when < b->when;
+        return a->seq < b->seq;
+    });
+    w.u32(static_cast<std::uint32_t>(live.size()));
+    for (const Event *ev : live) {
+        w.u64(ev->when);
+        w.u64(ev->seq);
+        w.u64(ev->id);
+        w.u8(static_cast<std::uint8_t>(ev->kind));
+    }
+    w.u64(nextSeq_);
+    w.u64(nextId_);
+}
+
+void
+EventQueue::restoreState(SnapshotReader &r)
+{
+    for (Event *ev : heap_)
+        recycle(ev);
+    heap_.clear();
+    live_ = 0;
+
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Event *ev = allocEvent();
+        ev->when = r.u64();
+        ev->seq = r.u64();
+        ev->id = r.u64();
+        ev->kind = static_cast<Kind>(r.u8());
+        // Kick events are no-ops by definition and need no owner; anything
+        // else waits for its component's rebind pass to claim() it.
+        ev->cb = ev->kind == Kind::Kick ? Callback([] {}) : nullptr;
+        ev->cancelled = false;
+        heap_.push_back(ev);
+        ++live_;
+    }
+    // Saved in (when, seq) order, which Later{} accepts as a valid heap,
+    // but make the heap property explicit rather than rely on it.
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    nextSeq_ = r.u64();
+    nextId_ = r.u64();
+}
+
+void
+EventQueue::claim(std::uint64_t id, Callback cb)
+{
+    for (Event *ev : heap_) {
+        if (ev->id == id && !ev->cancelled) {
+            if (ev->cb)
+                fatal("EventQueue::claim: event %llu already has a callback",
+                      static_cast<unsigned long long>(id));
+            ev->cb = std::move(cb);
+            return;
+        }
+    }
+    fatal("EventQueue::claim: no pending event %llu",
+          static_cast<unsigned long long>(id));
+}
+
+void
+EventQueue::verifyAllClaimed() const
+{
+    for (const Event *ev : heap_) {
+        if (!ev->cancelled && !ev->cb)
+            fatal("EventQueue: restored event %llu (t=%llu) was never "
+                  "claimed by its owner",
+                  static_cast<unsigned long long>(ev->id),
+                  static_cast<unsigned long long>(ev->when));
+    }
 }
 
 } // namespace kvmarm

@@ -6,6 +6,10 @@
  * deliveries, device completions) land here and are serviced when the owning
  * CPU's clock passes the event time, or immediately when the CPU idles and
  * fast-forwards its clock.
+ *
+ * Event objects are pooled per queue: runDue()/restoreState() recycle them
+ * onto a free list that schedule() pops before touching the heap allocator,
+ * so steady-state simulation performs no event allocations.
  */
 
 #ifndef KVMARM_SIM_EVENT_QUEUE_HH
@@ -20,11 +24,27 @@
 
 namespace kvmarm {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /** FIFO-stable priority queue of cycle-stamped callbacks. */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+
+    /**
+     * What an event's callback does, for snapshot rehydration. Callbacks
+     * are closures and cannot be serialized; a restored Generic event
+     * starts with a null callback that its owning component must claim()
+     * during its rebind pass. Kick events are known no-ops and rehydrate
+     * themselves.
+     */
+    enum class Kind : std::uint8_t
+    {
+        Generic = 0,
+        Kick = 1,
+    };
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -32,7 +52,7 @@ class EventQueue
     ~EventQueue();
 
     /** Schedule @p cb to run at absolute cycle @p when. Returns an id. */
-    std::uint64_t schedule(Cycles when, Callback cb);
+    std::uint64_t schedule(Cycles when, Callback cb, Kind kind = Kind::Generic);
 
     /** Invoked on every schedule(); the owning CPU uses this to tell the
      *  machine scheduler about cross-CPU wake events. */
@@ -53,12 +73,38 @@ class EventQueue
     /** Number of pending (non-cancelled) events. */
     std::size_t size() const { return live_; }
 
+    /** Event structs allocated from the heap (pool misses) so far. */
+    std::uint64_t heapAllocs() const { return heapAllocs_; }
+
+    /// @name Snapshot support (CpuBase drives these)
+    /// @{
+
+    /** Serialize live events (time, order, id, kind) plus the id/seq
+     *  counters so restored events keep their exact FIFO tie-breaks. */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Drop everything pending and recreate the saved events. Kick events
+     * come back runnable; Generic events come back with null callbacks
+     * awaiting claim(). onSchedule is not fired (the machine is quiesced).
+     */
+    void restoreState(SnapshotReader &r);
+
+    /** Re-attach the callback of restored event @p id. fatal() if the id
+     *  is unknown or already claimed. */
+    void claim(std::uint64_t id, Callback cb);
+
+    /** fatal() if any restored Generic event is still unclaimed. */
+    void verifyAllClaimed() const;
+    /// @}
+
   private:
     struct Event
     {
         Cycles when;
         std::uint64_t seq; //!< schedule order, for FIFO stability
         std::uint64_t id;
+        Kind kind;
         Callback cb;
         bool cancelled = false;
     };
@@ -74,10 +120,15 @@ class EventQueue
         }
     };
 
+    Event *allocEvent();
+    void recycle(Event *ev);
+
     std::vector<Event *> heap_;
+    std::vector<Event *> pool_; //!< recycled Event structs, ready for reuse
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextId_ = 1;
     std::size_t live_ = 0;
+    std::uint64_t heapAllocs_ = 0;
 };
 
 } // namespace kvmarm

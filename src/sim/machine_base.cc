@@ -1,4 +1,5 @@
 #include "sim/machine_base.hh"
+#include <algorithm>
 #include <cstdio>
 
 #include "sim/cpu_base.hh"
@@ -39,9 +40,100 @@ MachineBase::MachineBase()
 MachineBase::~MachineBase() = default;
 
 void
+MachineBase::registerSnapshottable(Snapshottable *s)
+{
+    snapshottables_.push_back(s);
+}
+
+void
+MachineBase::unregisterSnapshottable(Snapshottable *s)
+{
+    auto it = std::find(snapshottables_.begin(), snapshottables_.end(), s);
+    if (it != snapshottables_.end())
+        snapshottables_.erase(it);
+}
+
+std::shared_ptr<const MachineSnapshot>
+MachineBase::takeSnapshot()
+{
+    if (running_)
+        fatal("MachineBase::takeSnapshot: machine is running; snapshots "
+              "require a quiesced machine");
+    auto snap = std::make_shared<MachineSnapshot>();
+    snap->records.reserve(snapshottables_.size());
+    for (Snapshottable *s : snapshottables_) {
+        SnapshotWriter w;
+        s->saveState(w);
+        snap->records.push_back(w.finish(s->snapshotKey()));
+    }
+    return snap;
+}
+
+void
+MachineBase::restoreSnapshot(const MachineSnapshot &snap)
+{
+    if (running_)
+        fatal("MachineBase::restoreSnapshot: machine is running");
+    if (snap.records.size() != snapshottables_.size())
+        fatal("MachineBase::restoreSnapshot: snapshot has %zu records but "
+              "this machine registered %zu components — machine shapes "
+              "differ",
+              snap.records.size(), snapshottables_.size());
+    for (std::size_t i = 0; i < snapshottables_.size(); ++i) {
+        Snapshottable *s = snapshottables_[i];
+        const SnapshotRecord &rec = snap.records[i];
+        if (rec.key != s->snapshotKey())
+            fatal("MachineBase::restoreSnapshot: record %zu is '%s' but "
+                  "component %zu is '%s' — registration orders differ",
+                  i, rec.key.c_str(), i, s->snapshotKey().c_str());
+        SnapshotReader r(rec);
+        s->restoreState(r);
+        if (!r.done())
+            fatal("MachineBase::restoreSnapshot: component '%s' left %zu "
+                  "bytes of its record unconsumed",
+                  rec.key.c_str(), r.remaining());
+    }
+    for (Snapshottable *s : snapshottables_)
+        s->snapshotRebind();
+    for (Snapshottable *s : snapshottables_)
+        s->snapshotVerify();
+    stopRequested_ = false;
+}
+
+void
+MachineBase::runSingle()
+{
+    CpuBase *c = cpusBase_.front();
+    while (!stopRequested_) {
+        if (!c->hasEntry() || c->fiberFinished())
+            break;
+        if (c->effectiveClock() == kNoDeadline) {
+            std::fprintf(stderr,
+                         "  cpu%u: now=%llu waiting=%d finished=%d "
+                         "events=%zu\n",
+                         c->id(), static_cast<unsigned long long>(c->now()),
+                         c->waiting(), c->fiberFinished(),
+                         c->events().size());
+            panic("MachineBase::run: deadlock — every CPU is blocked with "
+                  "no pending events");
+        }
+        // With no second CPU there is no laggard to yield to; the same
+        // threshold the general loop computes (second == kNoDeadline).
+        c->setYieldThreshold(kNoDeadline);
+        running_ = c;
+        c->resumeFiber();
+        running_ = nullptr;
+    }
+}
+
+void
 MachineBase::run()
 {
     stopRequested_ = false;
+    if (cpusBase_.size() == 1) {
+        runSingle();
+        return;
+    }
     while (!stopRequested_) {
         CpuBase *best = nullptr;
         Cycles best_clock = kNoDeadline;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/snapshot.hh"
 #include "sim/types.hh"
 
 namespace kvmarm::check {
@@ -81,6 +82,38 @@ class MachineBase
     static void registerCheckEngineFactory(CheckEngineCreate create,
                                            CheckEngineDestroy destroy);
 
+    /// @name Snapshot/clone support
+    ///
+    /// Components register in construction order; because machine
+    /// construction is deterministic, the origin machine and a freshly
+    /// constructed clone register identical sequences, which is what lets
+    /// restoreSnapshot pair records with components positionally.
+    /// @{
+
+    /** Register a component for snapshot participation (construction). */
+    void registerSnapshottable(Snapshottable *s);
+
+    /** Remove a component (destruction; order need not match). */
+    void unregisterSnapshottable(Snapshottable *s);
+
+    /**
+     * Capture the full machine state. The machine must be quiesced (not
+     * inside run(); all fibers finished). The returned snapshot is
+     * immutable and safe to share across host threads — any number of
+     * machines on any workers may restore from it concurrently.
+     */
+    std::shared_ptr<const MachineSnapshot> takeSnapshot();
+
+    /**
+     * Restore @p snap into this machine. The machine must have the same
+     * component shape as the snapshot origin (same config => same
+     * registration sequence) and must be quiesced. Three passes:
+     * restoreState on every component in registration order, then
+     * snapshotRebind (callback/pointer fix-ups), then snapshotVerify.
+     */
+    void restoreSnapshot(const MachineSnapshot &snap);
+    /// @}
+
   protected:
     /** Derived machines register their CPUs in id order. */
     void registerCpu(CpuBase *cpu) { cpusBase_.push_back(cpu); }
@@ -91,6 +124,12 @@ class MachineBase
     CpuBase *running_ = nullptr;
 
   private:
+    /** Run loop specialization for machines with one CPU: no second-best
+     *  clock exists, so skip the scheduler scan and resume the lone fiber
+     *  with an open yield threshold. */
+    void runSingle();
+
+    std::vector<Snapshottable *> snapshottables_;
     /** Deletes through the registered destroy hook (the sim layer never
      *  sees the complete InvariantEngine type). */
     struct CheckEngineDeleter

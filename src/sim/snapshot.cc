@@ -1,0 +1,115 @@
+#include "sim/snapshot.hh"
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace kvmarm {
+
+void
+SnapshotWriter::raw(const void *p, std::size_t n)
+{
+    const auto *b = static_cast<const std::uint8_t *>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+}
+
+void
+SnapshotWriter::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void
+SnapshotWriter::attach(std::shared_ptr<const void> a)
+{
+    if (hasAttachment_)
+        fatal("SnapshotWriter: a record may carry at most one attachment");
+    attachment_ = std::move(a);
+    hasAttachment_ = true;
+}
+
+SnapshotRecord
+SnapshotWriter::finish(std::string key)
+{
+    return SnapshotRecord{std::move(key), std::move(bytes_),
+                          std::move(attachment_)};
+}
+
+void
+SnapshotReader::raw(void *p, std::size_t n)
+{
+    if (pos_ + n > rec_.bytes.size())
+        fatal("SnapshotReader: record '%s' underflow (want %zu bytes, have "
+              "%zu)",
+              rec_.key.c_str(), n, rec_.bytes.size() - pos_);
+    std::memcpy(p, rec_.bytes.data() + pos_, n);
+    pos_ += n;
+}
+
+std::uint8_t
+SnapshotReader::u8()
+{
+    std::uint8_t v;
+    raw(&v, sizeof(v));
+    return v;
+}
+
+std::string
+SnapshotReader::str()
+{
+    std::uint32_t n = u32();
+    if (pos_ + n > rec_.bytes.size())
+        fatal("SnapshotReader: record '%s' string underflow", rec_.key.c_str());
+    std::string s(reinterpret_cast<const char *>(rec_.bytes.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+const std::shared_ptr<const void> &
+SnapshotReader::attachment() const
+{
+    return rec_.attachment;
+}
+
+void
+saveStats(SnapshotWriter &w, const StatGroup &stats)
+{
+    w.u32(static_cast<std::uint32_t>(stats.counters().size()));
+    for (const auto &[name, c] : stats.counters()) {
+        w.str(name);
+        w.u64(c.value());
+    }
+    w.u32(static_cast<std::uint32_t>(stats.scalars().size()));
+    for (const auto &[name, s] : stats.scalars()) {
+        w.str(name);
+        w.u64(s.count());
+        w.f64(s.sum());
+        w.f64(s.min());
+        w.f64(s.max());
+    }
+}
+
+void
+restoreStats(SnapshotReader &r, StatGroup &stats)
+{
+    // Zero everything already present (CachedCounter holds raw pointers to
+    // the map nodes, so nothing may be erased), then load snapshot values
+    // into existing-or-new entries.
+    stats.resetAll();
+    std::uint32_t nc = r.u32();
+    for (std::uint32_t i = 0; i < nc; ++i) {
+        std::string name = r.str();
+        stats.counter(name).set(r.u64());
+    }
+    std::uint32_t ns = r.u32();
+    for (std::uint32_t i = 0; i < ns; ++i) {
+        std::string name = r.str();
+        std::uint64_t count = r.u64();
+        double sum = r.f64();
+        double mn = r.f64();
+        double mx = r.f64();
+        stats.scalar(name).load(count, sum, mn, mx);
+    }
+}
+
+} // namespace kvmarm

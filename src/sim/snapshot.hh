@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Machine snapshot/restore plumbing.
+ *
+ * A quiesced machine (no fiber suspended mid-run) can be captured into a
+ * MachineSnapshot: every component that registered itself as Snapshottable
+ * on the MachineBase contributes one byte record. Restoring the snapshot
+ * into a freshly constructed machine of the same shape replays those
+ * records in registration order, then gives each component a rebind pass
+ * (to re-attach callbacks and pointers that cannot be serialized) and a
+ * verify pass (to prove nothing was left dangling).
+ *
+ * Records are plain byte vectors plus an optional type-erased attachment:
+ * a shared, immutable object the component wants to hand to its restored
+ * twin without byte-copying (PhysMem uses this for the COW page image).
+ * Snapshots are immutable once taken and safe to share across host threads;
+ * every mutable structure a restore produces is owned by the restored
+ * machine alone.
+ */
+
+#ifndef KVMARM_SIM_SNAPSHOT_HH
+#define KVMARM_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace kvmarm {
+
+class StatGroup;
+
+/** One component's captured state: a key for pairing, raw bytes, and an
+ *  optional shared immutable attachment. */
+struct SnapshotRecord
+{
+    std::string key;
+    std::vector<std::uint8_t> bytes;
+    std::shared_ptr<const void> attachment;
+};
+
+/** A full machine capture: one record per registered Snapshottable, in
+ *  registration (== construction) order. Immutable once taken. */
+struct MachineSnapshot
+{
+    std::vector<SnapshotRecord> records;
+};
+
+/** Accumulates one component's snapshot record. */
+class SnapshotWriter
+{
+  public:
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+    void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+    void str(const std::string &s);
+
+    /** Write a trivially copyable aggregate verbatim. */
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        raw(&v, sizeof(v));
+    }
+
+    /** Attach a shared immutable object to this record (at most one). */
+    void attach(std::shared_ptr<const void> a);
+
+    /** Move the accumulated record out (MachineBase::takeSnapshot). */
+    SnapshotRecord finish(std::string key);
+
+  private:
+    void raw(const void *p, std::size_t n);
+
+    std::vector<std::uint8_t> bytes_;
+    std::shared_ptr<const void> attachment_;
+    bool hasAttachment_ = false;
+};
+
+/** Replays one component's snapshot record. Reads must consume the record
+ *  exactly; MachineBase checks done() after each restoreState. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const SnapshotRecord &rec) : rec_(rec) {}
+
+    std::uint8_t u8();
+    bool b() { return u8() != 0; }
+    std::uint16_t u16() { std::uint16_t v; raw(&v, sizeof(v)); return v; }
+    std::uint32_t u32() { std::uint32_t v; raw(&v, sizeof(v)); return v; }
+    std::uint64_t u64() { std::uint64_t v; raw(&v, sizeof(v)); return v; }
+    double f64() { double v; raw(&v, sizeof(v)); return v; }
+    std::string str();
+
+    template <typename T>
+    void
+    pod(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        raw(&v, sizeof(v));
+    }
+
+    /** The record's shared attachment (null if none was written). */
+    const std::shared_ptr<const void> &attachment() const;
+
+    /** True when every byte of the record has been consumed. */
+    bool done() const { return pos_ == rec_.bytes.size(); }
+
+    std::size_t remaining() const { return rec_.bytes.size() - pos_; }
+
+  private:
+    void raw(void *p, std::size_t n);
+
+    const SnapshotRecord &rec_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Interface for components that participate in machine snapshots. Register
+ * on the owning MachineBase in the constructor (registration order must be
+ * deterministic and identical between the snapshot origin and any clone —
+ * construction order guarantees this) and unregister in the destructor.
+ */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+
+    /** Stable identifier, checked against the record at restore. */
+    virtual std::string snapshotKey() const = 0;
+
+    /** Serialize state. Non-const: PhysMem's save mutates it into a COW
+     *  client of the image it just published. */
+    virtual void saveState(SnapshotWriter &w) = 0;
+
+    /** Load state back. Pointers and callbacks stay unresolved until
+     *  snapshotRebind(). */
+    virtual void restoreState(SnapshotReader &r) = 0;
+
+    /** Re-attach callbacks/pointers after every component restored. */
+    virtual void snapshotRebind() {}
+
+    /** Post-rebind consistency checks; fatal() on anything dangling. */
+    virtual void snapshotVerify() {}
+};
+
+/// @name StatGroup serialization helpers
+///
+/// StatGroup restore must never clear the maps: CachedCounter call sites
+/// hold raw Counter pointers into the map nodes (which never move), so the
+/// restore resets existing values in place and find-or-creates the rest.
+/// @{
+void saveStats(SnapshotWriter &w, const StatGroup &stats);
+void restoreStats(SnapshotReader &r, StatGroup &stats);
+/// @}
+
+} // namespace kvmarm
+
+#endif // KVMARM_SIM_SNAPSHOT_HH

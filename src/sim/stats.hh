@@ -22,6 +22,8 @@ class Counter
   public:
     void inc(std::uint64_t n = 1) { value_ += n; }
     void reset() { value_ = 0; }
+    /** Overwrite the value (snapshot restore only). */
+    void set(std::uint64_t v) { value_ = v; }
     std::uint64_t value() const { return value_; }
 
   private:
@@ -34,6 +36,16 @@ class Scalar
   public:
     void sample(double v);
     void reset();
+
+    /** Overwrite all fields (snapshot restore only). */
+    void
+    load(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+    }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }

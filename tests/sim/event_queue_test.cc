@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace kvmarm {
 namespace {
@@ -121,6 +126,131 @@ TEST(EventQueue, OnScheduleHookFiresForEventScheduledByEvent)
     q.runDue(10);
     EXPECT_EQ(seen, (std::vector<Cycles>{10, 25}));
     EXPECT_EQ(q.nextEventTime(), 25u);
+}
+
+TEST(EventQueuePool, SteadyStateSchedulingNeverTouchesTheHeap)
+{
+    // The free list must absorb all schedule/run churn: heap allocations
+    // are bounded by the peak number of simultaneously pending events, not
+    // by the total number of events ever scheduled.
+    EventQueue q;
+    for (unsigned round = 0; round < 200; ++round) {
+        for (unsigned i = 0; i < 4; ++i)
+            q.schedule(Cycles(round) * 10 + i, [] {});
+        q.runDue(Cycles(round) * 10 + 9);
+    }
+    EXPECT_EQ(q.heapAllocs(), 4u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueuePool, CancelledEventsAreRecycled)
+{
+    EventQueue q;
+    for (unsigned round = 0; round < 50; ++round) {
+        auto id = q.schedule(1000, [] {});
+        q.cancel(id);
+        q.runDue(0); // pops the tombstone and recycles it
+    }
+    EXPECT_EQ(q.heapAllocs(), 1u);
+}
+
+TEST(EventQueuePool, CallbackRescheduleReusesTheFiredEventStruct)
+{
+    // Timer re-arm is the hot pooling case: the fired event is recycled
+    // before its callback runs, so the re-arm schedule() reuses it.
+    EventQueue q;
+    unsigned fired = 0;
+    std::function<void()> rearm = [&] {
+        if (++fired < 10)
+            q.schedule(Cycles(fired) * 10, rearm);
+    };
+    q.schedule(0, rearm);
+    for (Cycles t = 0; t <= 100; t += 10)
+        q.runDue(t);
+    EXPECT_EQ(fired, 10u);
+    EXPECT_EQ(q.heapAllocs(), 1u);
+}
+
+TEST(EventQueueSnapshot, RestoreRecreatesEventsWithExactOrderAndIds)
+{
+    EventQueue q;
+    auto late = q.schedule(20, [] {});
+    auto early = q.schedule(10, [] {});
+    auto kick = q.schedule(10, [] {}, EventQueue::Kind::Kick);
+    auto dead = q.schedule(15, [] {});
+    q.cancel(dead);
+    (void)kick;
+
+    SnapshotWriter w;
+    q.saveState(w);
+    SnapshotRecord rec = w.finish("events");
+
+    EventQueue r;
+    SnapshotReader rd(rec);
+    r.restoreState(rd);
+    EXPECT_TRUE(rd.done()) << "restore left unread bytes";
+    EXPECT_EQ(r.size(), 3u); // cancelled event was not saved
+    EXPECT_EQ(r.nextEventTime(), 10u);
+
+    std::vector<int> order;
+    r.claim(early, [&] { order.push_back(1); });
+    r.claim(late, [&] { order.push_back(2); });
+    r.verifyAllClaimed(); // the Kick event rehydrated itself
+    EXPECT_EQ(r.runDue(100), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+    // The id counter was restored too: new events must never collide with
+    // ids that components hold across the snapshot.
+    EXPECT_GT(r.schedule(30, [] {}), dead);
+}
+
+TEST(EventQueueSnapshot, RestoreDropsWhatWasPendingBefore)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    SnapshotWriter w;
+    q.saveState(w);
+    SnapshotRecord rec = w.finish("events");
+
+    EventQueue r;
+    bool stale_ran = false;
+    r.schedule(5, [&] { stale_ran = true; });
+    SnapshotReader rd(rec);
+    r.restoreState(rd);
+    r.claim(1, [] {}); // the one saved event (first id ever issued)
+    EXPECT_EQ(r.size(), 1u);
+    r.runDue(100);
+    EXPECT_FALSE(stale_ran);
+}
+
+TEST(EventQueueSnapshot, UnclaimedGenericEventIsFatal)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    SnapshotWriter w;
+    q.saveState(w);
+    SnapshotRecord rec = w.finish("events");
+
+    EventQueue r;
+    SnapshotReader rd(rec);
+    r.restoreState(rd);
+    EXPECT_THROW(r.verifyAllClaimed(), FatalError);
+}
+
+TEST(EventQueueSnapshot, BogusClaimsAreFatal)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    SnapshotWriter w;
+    q.saveState(w);
+    SnapshotRecord rec = w.finish("events");
+
+    EventQueue r;
+    SnapshotReader rd(rec);
+    r.restoreState(rd);
+    EXPECT_THROW(r.claim(id + 1000, [] {}), FatalError); // unknown id
+    r.claim(id, [] {});
+    EXPECT_THROW(r.claim(id, [] {}), FatalError); // double claim
 }
 
 } // namespace

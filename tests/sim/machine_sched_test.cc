@@ -160,6 +160,74 @@ TEST(MachineSched, IdleFastForwardServicesCrossCpuWakesInOrder)
     EXPECT_GE(c1.idleCycles(), 400u);
 }
 
+TEST(MachineSched, SingleCpuResultIsQuantumIndependent)
+{
+    // The single-CPU fast path never computes a yield threshold (there is
+    // no laggard CPU to stay near), so the quantum setting must have no
+    // observable effect on a 1-CPU machine's simulation.
+    auto run_with_quantum = [](Cycles quantum) {
+        ArmMachine machine(smallConfig(1));
+        machine.setQuantum(quantum);
+        arm::ArmCpu &cpu = machine.cpu(0);
+        bool fired = false;
+        machine.cpu(0).setEntry([&] {
+            cpu.compute(777);
+            cpu.events().schedule(cpu.now() + 5000, [&] { fired = true; });
+            cpu.waitUntil([&] { return fired; });
+            cpu.compute(333);
+        });
+        machine.run();
+        return cpu.now();
+    };
+    EXPECT_EQ(run_with_quantum(1), run_with_quantum(1000000));
+}
+
+TEST(MachineSched, SingleCpuTwoPhaseRunPreservesClockAndEvents)
+{
+    // The snapshot/clone flow runs a machine in two legs: boot to quiesce,
+    // then (possibly after takeSnapshot) set a new entry and run again.
+    // The second leg must continue the same timeline, and a future event
+    // left pending by leg one must survive the gap and fire on time.
+    ArmMachine machine(smallConfig(1));
+    arm::ArmCpu &cpu = machine.cpu(0);
+    Cycles fired_at = 0;
+    machine.cpu(0).setEntry([&] {
+        cpu.compute(1000);
+        cpu.events().schedule(5000, [&] { fired_at = cpu.now(); });
+    });
+    machine.run();
+    Cycles leg1_end = cpu.now();
+    EXPECT_GE(leg1_end, 1000u);
+    EXPECT_EQ(fired_at, 0u) << "event fired before its time";
+    EXPECT_EQ(cpu.events().size(), 1u);
+
+    machine.cpu(0).setEntry([&] {
+        // Small steps: the event fires when the clock first drains past
+        // its time, so fine granularity pins the observed fire time.
+        for (int i = 0; i < 100; ++i)
+            cpu.compute(100);
+    });
+    machine.run();
+    EXPECT_GE(cpu.now(), leg1_end + 10000);
+    EXPECT_GE(fired_at, 5000u);
+    EXPECT_LT(fired_at, 5100u);
+    EXPECT_TRUE(cpu.events().empty());
+}
+
+TEST(MachineSched, SingleCpuStopRequestAbandonsTheFiber)
+{
+    // Without the stop request this entry would be a deadlock panic; the
+    // single-CPU loop must check the stop flag before diagnosing one.
+    ArmMachine machine(smallConfig(1));
+    machine.cpu(0).setEntry([&] {
+        machine.cpu(0).compute(1000);
+        machine.requestStop();
+        machine.cpu(0).waitUntil([] { return false; }); // parked forever
+    });
+    machine.run();
+    EXPECT_TRUE(machine.stopRequested());
+}
+
 TEST(MachineSched, DeadlockIsDetected)
 {
     ArmMachine machine(smallConfig(1));

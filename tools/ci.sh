@@ -28,11 +28,12 @@ leg_release() {
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-ci-release -j"$JOBS"
     run_suite build-ci-release
-    # Fleet determinism must also hold with every machine's invariant
-    # engine live: per-VM sim cycles are compared across thread counts
-    # while each engine checks its own machine.
+    # Fleet determinism and clone bit-identity must also hold with every
+    # machine's invariant engine live: per-VM sim cycles are compared
+    # across thread counts (and against snapshot clones) while each engine
+    # checks its own machine.
     env KVMARM_CHECK=enforce ctest --test-dir build-ci-release \
-        --output-on-failure -R 'FleetDeterminism'
+        --output-on-failure -R 'FleetDeterminism|FleetClone'
 }
 
 leg_asan() {
@@ -52,7 +53,8 @@ leg_tsan() {
     # from KVMARM_SANITIZE.
     cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DKVMARM_SANITIZE=thread
-    cmake --build build-ci-tsan -j"$JOBS" --target fleet_tput fleet_test
+    cmake --build build-ci-tsan -j"$JOBS" \
+        --target fleet_tput fleet_clone fleet_test
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --test-dir build-ci-tsan --output-on-failure \
         -L sanitize-thread -R '^Fleet'
@@ -60,10 +62,15 @@ leg_tsan() {
     # path takes no locks, so this is the proof it is race-free.
     TSAN_OPTIONS=halt_on_error=1 \
         env KVMARM_CHECK=enforce ctest --test-dir build-ci-tsan \
-        --output-on-failure -L sanitize-thread -R 'FleetDeterminism'
+        --output-on-failure -L sanitize-thread \
+        -R 'FleetDeterminism|FleetClone'
     # fleet_tput --smoke sweeps both check modes itself (the *_enforce
     # rows), so one TSan run covers the unchecked and checked hot paths.
     TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_tput --smoke
+    # fleet_clone --smoke under TSan: 8 worker threads concurrently
+    # COW-fault private pages out of one shared snapshot image — the race
+    # TSan is here to rule out.
+    TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_clone --smoke
 }
 
 leg_enforce() {
@@ -85,9 +92,10 @@ leg_bench() {
     # require its cycle table to match the committed golden output exactly.
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-ci-release -j"$JOBS" \
-        --target host_tput fleet_tput table3_micro
+        --target host_tput fleet_tput fleet_clone table3_micro
     build-ci-release/bench/host_tput --smoke
     build-ci-release/bench/fleet_tput --smoke
+    build-ci-release/bench/fleet_clone --smoke
     build-ci-release/bench/table3_micro 2>/dev/null | sed -n '/===/,$p' \
         > build-ci-release/table3_micro.out
     diff -u bench/golden/table3_micro.txt build-ci-release/table3_micro.out
