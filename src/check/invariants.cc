@@ -386,4 +386,28 @@ InvariantEngine::maintenanceIrq(CpuId cpu, const arm::VgicBank &bank)
         rule->onMaintenance(*this, ev);
 }
 
+void
+InvariantEngine::ringDoorbell(const void *domain, CpuId cpu, const char *ring,
+                              std::uint64_t seq, Cycles cycle,
+                              std::uint32_t availIdx)
+{
+    OptionalLock lock(*this);
+    ++events_;
+    RingEvent ev{domain, cpu, ring, true, seq, cycle, availIdx};
+    for (auto &rule : rules_)
+        rule->onRing(*this, ev);
+}
+
+void
+InvariantEngine::ringDeliver(const void *domain, CpuId cpu, const char *ring,
+                             std::uint64_t seq, Cycles cycle,
+                             std::uint32_t usedIdx)
+{
+    OptionalLock lock(*this);
+    ++events_;
+    RingEvent ev{domain, cpu, ring, false, seq, cycle, usedIdx};
+    for (auto &rule : rules_)
+        rule->onRing(*this, ev);
+}
+
 } // namespace kvmarm::check

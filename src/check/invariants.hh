@@ -189,6 +189,18 @@ struct MaintenanceEvent
     CpuId cpu;
     const arm::VgicBank *bank;
 };
+
+/** Inter-VM ring activity: a doorbell MMIO send or a message delivery. */
+struct RingEvent
+{
+    const void *domain; //!< owning machine (disambiguates ring names)
+    CpuId cpu;
+    const char *ring; //!< channel name
+    bool doorbell;    //!< true = doorbell (send); false = delivery
+    std::uint64_t seq; //!< per-direction message sequence number
+    Cycles cycle;      //!< send cycle (doorbell) / deliver cycle
+    std::uint32_t ringIdx; //!< avail index (doorbell) / used index (deliver)
+};
 /// @}
 
 class InvariantEngine;
@@ -221,6 +233,7 @@ class InvariantRule
     virtual void onPageGuard(InvariantEngine &, const PageGuardEvent &) {}
     virtual void onVgicLr(InvariantEngine &, const VgicLrEvent &) {}
     virtual void onMaintenance(InvariantEngine &, const MaintenanceEvent &) {}
+    virtual void onRing(InvariantEngine &, const RingEvent &) {}
 };
 
 namespace detail {
@@ -341,6 +354,10 @@ class InvariantEngine
     void unprotectPage(const void *domain, Addr pa);
     void vgicLrWrite(CpuId cpu, unsigned idx, const arm::VgicBank &bank);
     void maintenanceIrq(CpuId cpu, const arm::VgicBank &bank);
+    void ringDoorbell(const void *domain, CpuId cpu, const char *ring,
+                      std::uint64_t seq, Cycles cycle, std::uint32_t availIdx);
+    void ringDeliver(const void *domain, CpuId cpu, const char *ring,
+                     std::uint64_t seq, Cycles cycle, std::uint32_t usedIdx);
     /// @}
 
   private:

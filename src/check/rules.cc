@@ -2,6 +2,8 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <tuple>
 #include <utility>
 
 #include "arm/gic.hh"
@@ -386,6 +388,66 @@ class VgicRule : public InvariantRule
     }
 };
 
+/**
+ * Rule 6 — ring-order: the inter-VM ring protocol's observable order must
+ * be a pure function of simulated execution (DESIGN.md §4.10). Per
+ * (machine, ring, direction): message sequence numbers are gapless from
+ * zero, their cycles never move backwards, and the guest-visible ring
+ * index advances by exactly one per message. Any gap or reordering means
+ * the rendezvous protocol leaked host-thread timing into the simulation.
+ */
+class RingOrderRule : public InvariantRule
+{
+  public:
+    const char *name() const override { return "ring-order"; }
+
+    void reset() override { dirs_.clear(); }
+
+    void
+    onRing(InvariantEngine &eng, const RingEvent &ev) override
+    {
+        DirState &st = dirs_[Key{ev.domain, ev.ring, ev.doorbell}];
+        const char *what = ev.doorbell ? "doorbell" : "delivery";
+        if (ev.seq != st.nextSeq) {
+            eng.report(*this,
+                       strfmt("cpu%u: ring '%s' %s seq %llu, expected %llu "
+                              "(gap or replay)",
+                              ev.cpu, ev.ring, what,
+                              static_cast<unsigned long long>(ev.seq),
+                              static_cast<unsigned long long>(st.nextSeq)));
+        }
+        if (st.nextSeq > 0 && ev.cycle < st.lastCycle) {
+            eng.report(*this,
+                       strfmt("cpu%u: ring '%s' %s seq %llu at cycle %llu "
+                              "behind its predecessor at cycle %llu",
+                              ev.cpu, ev.ring, what,
+                              static_cast<unsigned long long>(ev.seq),
+                              static_cast<unsigned long long>(ev.cycle),
+                              static_cast<unsigned long long>(st.lastCycle)));
+        }
+        if (st.nextSeq > 0 && ev.ringIdx != st.lastRingIdx + 1) {
+            eng.report(*this,
+                       strfmt("cpu%u: ring '%s' %s index jumped %u -> %u "
+                              "(must advance by one per message)",
+                              ev.cpu, ev.ring, what, st.lastRingIdx,
+                              ev.ringIdx));
+        }
+        st.nextSeq = ev.seq + 1;
+        st.lastCycle = ev.cycle;
+        st.lastRingIdx = ev.ringIdx;
+    }
+
+  private:
+    using Key = std::tuple<const void *, std::string, bool>;
+    struct DirState
+    {
+        std::uint64_t nextSeq = 0;
+        Cycles lastCycle = 0;
+        std::uint32_t lastRingIdx = 0;
+    };
+    std::map<Key, DirState> dirs_;
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<InvariantRule>>
@@ -397,6 +459,7 @@ builtinRules()
     rules.push_back(std::make_unique<Stage2IsolationRule>());
     rules.push_back(std::make_unique<TrapConfigRule>());
     rules.push_back(std::make_unique<VgicRule>());
+    rules.push_back(std::make_unique<RingOrderRule>());
     return rules;
 }
 

@@ -34,9 +34,35 @@ EventQueue::recycle(Event *ev)
     pool_.push_back(ev);
 }
 
+void
+EventQueue::forgetKick(std::uint64_t id)
+{
+    for (auto it = pendingKicks_.begin(); it != pendingKicks_.end(); ++it) {
+        if (it->id == id) {
+            *it = pendingKicks_.back();
+            pendingKicks_.pop_back();
+            return;
+        }
+    }
+}
+
 std::uint64_t
 EventQueue::schedule(Cycles when, Callback cb, Kind kind)
 {
+    if (kind == Kind::Kick) {
+        for (const PendingKick &pk : pendingKicks_) {
+            if (pk.when == when) {
+                // A kick at this cycle is already pending; a second Event
+                // would run the same no-op twice. Elide it, but keep the
+                // onSchedule notification: the machine scheduler's wake
+                // bookkeeping must be identical whether or not we coalesce.
+                ++kicksCoalesced_;
+                if (onSchedule)
+                    onSchedule(when);
+                return pk.id;
+            }
+        }
+    }
     Event *ev = allocEvent();
     ev->when = when;
     ev->seq = nextSeq_++;
@@ -47,6 +73,8 @@ EventQueue::schedule(Cycles when, Callback cb, Kind kind)
     heap_.push_back(ev);
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++live_;
+    if (kind == Kind::Kick)
+        pendingKicks_.push_back({when, ev->id});
     if (onSchedule)
         onSchedule(when);
     return ev->id;
@@ -59,6 +87,8 @@ EventQueue::cancel(std::uint64_t id)
         if (ev->id == id && !ev->cancelled) {
             ev->cancelled = true;
             --live_;
+            if (ev->kind == Kind::Kick)
+                forgetKick(id);
             return true;
         }
     }
@@ -89,6 +119,8 @@ EventQueue::runDue(Cycles now)
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
         heap_.pop_back();
         bool due = !head->cancelled;
+        if (due && head->kind == Kind::Kick)
+            forgetKick(head->id);
         Callback cb = std::move(head->cb);
         // Recycle before running: cb may schedule and immediately reuse it.
         recycle(head);
@@ -132,6 +164,7 @@ EventQueue::restoreState(SnapshotReader &r)
     for (Event *ev : heap_)
         recycle(ev);
     heap_.clear();
+    pendingKicks_.clear();
     live_ = 0;
 
     std::uint32_t n = r.u32();
@@ -147,6 +180,8 @@ EventQueue::restoreState(SnapshotReader &r)
         ev->cancelled = false;
         heap_.push_back(ev);
         ++live_;
+        if (ev->kind == Kind::Kick)
+            pendingKicks_.push_back({ev->when, ev->id});
     }
     // Saved in (when, seq) order, which Later{} accepts as a valid heap,
     // but make the heap property explicit rather than rely on it.

@@ -51,7 +51,16 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
     ~EventQueue();
 
-    /** Schedule @p cb to run at absolute cycle @p when. Returns an id. */
+    /**
+     * Schedule @p cb to run at absolute cycle @p when. Returns an id.
+     *
+     * Kick events (cross-CPU wakes, known no-op callbacks) are coalesced:
+     * if a live Kick is already pending at @p when, no second Event is
+     * created and the existing event's id is returned. onSchedule still
+     * fires for the coalesced call — the machine scheduler's wake
+     * bookkeeping must see every kick request, or yield thresholds (and
+     * therefore interleavings) would depend on coalescing.
+     */
     std::uint64_t schedule(Cycles when, Callback cb, Kind kind = Kind::Generic);
 
     /** Invoked on every schedule(); the owning CPU uses this to tell the
@@ -75,6 +84,9 @@ class EventQueue
 
     /** Event structs allocated from the heap (pool misses) so far. */
     std::uint64_t heapAllocs() const { return heapAllocs_; }
+
+    /** Duplicate same-cycle Kick schedules elided so far. */
+    std::uint64_t kicksCoalesced() const { return kicksCoalesced_; }
 
     /// @name Snapshot support (CpuBase drives these)
     /// @{
@@ -120,15 +132,24 @@ class EventQueue
         }
     };
 
+    struct PendingKick
+    {
+        Cycles when;
+        std::uint64_t id;
+    };
+
     Event *allocEvent();
     void recycle(Event *ev);
+    void forgetKick(std::uint64_t id);
 
     std::vector<Event *> heap_;
     std::vector<Event *> pool_; //!< recycled Event structs, ready for reuse
+    std::vector<PendingKick> pendingKicks_; //!< live Kicks, for coalescing
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextId_ = 1;
     std::size_t live_ = 0;
     std::uint64_t heapAllocs_ = 0;
+    std::uint64_t kicksCoalesced_ = 0;
 };
 
 } // namespace kvmarm

@@ -20,6 +20,18 @@ Fleet::Fleet(unsigned threads) : threads_(threads)
 std::size_t
 Fleet::add(std::string name, JobFn fn)
 {
+    if (!fn)
+        fatal("Fleet::add: job '%s' has no body", name.c_str());
+    return addResumable(std::move(name),
+                        [f = std::move(fn)]() -> StepOutcome {
+                            f();
+                            return StepOutcome::Done;
+                        });
+}
+
+std::size_t
+Fleet::addResumable(std::string name, StepFn fn)
+{
     if (running_.load(std::memory_order_relaxed)) {
         fatal("Fleet::add: job '%s' submitted while run() is in progress — "
               "queue all jobs before run(), or use a second Fleet",
@@ -64,40 +76,147 @@ Fleet::stealFrom(unsigned thief, Job &out)
 }
 
 void
+Fleet::enqueue(Job job)
+{
+    ++queuedCount_;
+    Worker &home = *workers_[job.home];
+    MutexLock lock(home.mutex);
+    home.jobs.push_back(std::move(job));
+}
+
+void
+Fleet::notify(std::size_t index)
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    CondLock lock(schedMutex_);
+    if (index >= state_.size())
+        return;
+    switch (state_[index]) {
+      case JobState::Parked:
+        state_[index] = JobState::Queued;
+        enqueue(std::move(parked_[index]));
+        cv_.notify_one();
+        break;
+      case JobState::Running:
+        // Mid-step wake: latch it so a Blocked return re-queues instead
+        // of parking. Without the latch this wake would be lost.
+        state_[index] = JobState::Woken;
+        break;
+      case JobState::Queued:
+      case JobState::Woken:
+      case JobState::Finished:
+        break;
+    }
+}
+
+void
 Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
 {
     while (true) {
         Job job;
         bool stolen = false;
-        if (!popOwn(w, job)) {
-            if (!stealFrom(w, job))
-                break; // every deque empty: all jobs claimed
+        bool got = popOwn(w, job);
+        if (!got && stealFrom(w, job)) {
+            got = true;
             stolen = true;
         }
+        if (!got) {
+            CondLock lock(schedMutex_);
+            if (unfinished_ == 0)
+                return;
+            ++idleWorkers_;
+            if (idleWorkers_ == threads_ && queuedCount_ == 0 &&
+                runningCount_ == 0) {
+                // Every worker is idle, nothing is queued or running, yet
+                // jobs remain: they are all parked, and wakes only come
+                // from running jobs. Fail them rather than hang.
+                for (std::size_t i = 0; i < state_.size(); ++i) {
+                    if (state_[i] != JobState::Parked)
+                        continue;
+                    results[i].ok = false;
+                    results[i].error =
+                        "fleet rendezvous deadlock: job parked with no "
+                        "runnable peer left to wake it";
+                    state_[i] = JobState::Finished;
+                    parked_[i] = Job{};
+                    --unfinished_;
+                }
+                --idleWorkers_;
+                cv_.notify_all();
+                return;
+            }
+            while (unfinished_ != 0 && queuedCount_ == 0)
+                cv_.wait(lock.native());
+            --idleWorkers_;
+            if (unfinished_ == 0)
+                return;
+            continue;
+        }
 
-        JobResult &res = results[job.index];
+        std::size_t idx = job.index;
+        {
+            CondLock lock(schedMutex_);
+            // Parked->Queued and the deal both count the job as queued;
+            // it is now running.
+            --queuedCount_;
+            ++runningCount_;
+            state_[idx] = JobState::Running;
+        }
+
+        JobResult &res = results[idx];
         res.name = job.name;
         res.worker = w;
-        res.stolen = stolen;
+        res.stolen |= stolen;
+        ++res.steps;
 
         // domlint: allow(wall-clock) — measurement only, never feeds sim state
         auto t0 = std::chrono::steady_clock::now();
+        StepOutcome out = StepOutcome::Done;
+        bool failed = false;
         try {
-            job.fn();
-            res.ok = true;
+            out = job.fn();
+            if (out == StepOutcome::Done)
+                res.ok = true;
         } catch (const std::exception &e) {
             res.error = e.what();
+            failed = true;
         } catch (...) {
             res.error = "unknown exception";
+            failed = true;
         }
         // domlint: allow(wall-clock) — measurement only, never feeds sim state
         auto t1 = std::chrono::steady_clock::now();
-        res.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        res.wallSeconds += std::chrono::duration<double>(t1 - t0).count();
+
+        bool finished = failed || out == StepOutcome::Done;
+        bool parkedNow = false;
+        {
+            CondLock lock(schedMutex_);
+            --runningCount_;
+            if (finished) {
+                state_[idx] = JobState::Finished;
+                --unfinished_;
+                if (unfinished_ == 0)
+                    cv_.notify_all();
+            } else if (state_[idx] == JobState::Woken) {
+                // notify() landed while the step ran; go straight back to
+                // the queue.
+                state_[idx] = JobState::Queued;
+                enqueue(std::move(job));
+                cv_.notify_one();
+            } else {
+                state_[idx] = JobState::Parked;
+                parked_[idx] = std::move(job);
+                parkedNow = true;
+            }
+        }
 
         {
             MutexLock lock(statsMutex_);
-            ++stats_.jobsRun;
+            stats_.jobsRun += finished;
             stats_.jobsStolen += stolen;
+            stats_.jobsParked += parkedNow;
         }
     }
 }
@@ -113,30 +232,44 @@ Fleet::run()
     if (pending_.empty())
         return results;
 
-    // Deal jobs round-robin. Every job is queued before any worker starts,
-    // so workers terminate as soon as all deques run dry: no job ever
-    // appears after a worker decided to exit. No worker is live yet, so
-    // the per-deal locks below are uncontended; they exist to keep the
-    // deques' guarded_by contract exact for the thread-safety analysis.
+    // Deal jobs round-robin. Every job is queued before any worker starts;
+    // parked resumable jobs are re-dealt to their home deque by notify().
+    // No worker is live yet, so the per-deal locks below are uncontended;
+    // they exist to keep the deques' guarded_by contract exact for the
+    // thread-safety analysis.
     workers_.clear();
     for (unsigned w = 0; w < threads_; ++w)
         workers_.push_back(std::make_unique<Worker>());
-    for (Job &job : pending_) {
-        job.home = static_cast<unsigned>(job.index % threads_);
-        Worker &home = *workers_[job.home];
-        MutexLock lock(home.mutex);
-        home.jobs.push_back(std::move(job));
+    {
+        CondLock lock(schedMutex_);
+        state_.assign(pending_.size(), JobState::Queued);
+        parked_.clear();
+        parked_.resize(pending_.size());
+        unfinished_ = pending_.size();
+        queuedCount_ = 0;
+        runningCount_ = 0;
+        idleWorkers_ = 0;
+        for (Job &job : pending_) {
+            job.home = static_cast<unsigned>(job.index % threads_);
+            enqueue(std::move(job));
+        }
     }
     pending_.clear();
 
-    running_.store(true, std::memory_order_relaxed);
+    running_.store(true, std::memory_order_release);
     std::vector<std::thread> pool;
     pool.reserve(threads_);
     for (unsigned w = 0; w < threads_; ++w)
         pool.emplace_back([this, w, &results] { workerMain(w, results); });
     for (std::thread &t : pool)
         t.join();
-    running_.store(false, std::memory_order_relaxed);
+    running_.store(false, std::memory_order_release);
+
+    {
+        CondLock lock(schedMutex_);
+        state_.clear();
+        parked_.clear();
+    }
 
     return results;
 }

@@ -1,27 +1,41 @@
 /**
  * @file
- * Fleet executor: runs many independent machine simulations concurrently
- * on a pool of host threads.
+ * Fleet executor: runs many machine simulations concurrently on a pool of
+ * host threads.
  *
  * Each job is one whole VM/machine run — the machine keeps its existing
- * single-threaded fiber scheduler and runs to completion on exactly one
- * worker thread, so its simulated cycle counts, stats, and event
- * interleavings are bit-identical no matter how many host threads the
- * fleet uses. The executor only decides *which* host thread runs *which*
- * machine, never how a machine executes internally.
+ * single-threaded fiber scheduler and runs on exactly one worker thread at
+ * a time, so its simulated cycle counts, stats, and event interleavings
+ * are bit-identical no matter how many host threads the fleet uses. The
+ * executor only decides *which* host thread runs *which* machine, never
+ * how a machine executes internally.
  *
  * Scheduling is a per-worker deque with job stealing: jobs are dealt
  * round-robin at submission, a worker pops its own deque from the front,
- * and a worker that runs dry steals from the back of the busiest point of
- * another worker's deque. Heterogeneous fleets (a world-switch storm VM
- * next to a compute-bound VM) therefore keep every host thread busy until
- * the global queue is empty instead of idling behind a static partition.
+ * and a worker that runs dry steals from the back of another worker's
+ * deque. Heterogeneous fleets (a world-switch storm VM next to a
+ * compute-bound VM) therefore keep every host thread busy until the global
+ * queue is empty instead of idling behind a static partition.
+ *
+ * Communicating fleets (DESIGN.md §4.10) use *resumable* jobs: a StepFn
+ * advances its machine until it must wait for a peer (e.g. a RingPacer
+ * window blocked on the peer's horizon) and returns Blocked. The fleet
+ * parks the job without occupying a worker; notify() — typically wired to
+ * a RingChannel wake hook — re-queues it. A notify that races the step
+ * (arriving while the job runs) is latched and converts the park into an
+ * immediate re-queue, so wakeups are never lost. At one worker thread this
+ * degrades to serial round-robin between the communicating jobs, which is
+ * exactly the reference schedule the determinism gates compare against.
+ * If every worker goes idle while unfinished jobs sit parked, nothing can
+ * ever wake them (wakes originate from running jobs): the fleet fails
+ * those jobs with a rendezvous-deadlock error instead of hanging.
  */
 
 #ifndef KVMARM_SIM_FLEET_HH
 #define KVMARM_SIM_FLEET_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -41,15 +55,28 @@ class Fleet
      *  machine.run(). Runs entirely on one worker thread. */
     using JobFn = std::function<void()>;
 
+    /** What one step of a resumable job did. */
+    enum class StepOutcome
+    {
+        Done,    //!< job complete; never stepped again
+        Blocked, //!< waiting on a peer; park until notify()
+    };
+
+    /** A resumable job body: advances until done or blocked. Steps of one
+     *  job never overlap, but successive steps may run on different
+     *  workers. */
+    using StepFn = std::function<StepOutcome()>;
+
     /** Outcome of one job. */
     struct JobResult
     {
         std::string name;
         bool ok = false;
         std::string error;      //!< exception text when !ok
-        double wallSeconds = 0; //!< host wall-clock duration of the body
-        unsigned worker = 0;    //!< worker thread that ran the job
-        bool stolen = false;    //!< ran on a worker it was not dealt to
+        double wallSeconds = 0; //!< host wall-clock total across steps
+        unsigned worker = 0;    //!< worker thread that ran the last step
+        bool stolen = false;    //!< some step ran on a non-home worker
+        std::uint64_t steps = 0; //!< times the body was entered
     };
 
     /** Pool-level counters for one run() call. */
@@ -57,6 +84,7 @@ class Fleet
     {
         std::uint64_t jobsRun = 0;
         std::uint64_t jobsStolen = 0;
+        std::uint64_t jobsParked = 0; //!< Blocked returns (park events)
     };
 
     /** @param threads Worker count; 0 means one per host hardware thread. */
@@ -76,6 +104,18 @@ class Fleet
      * result vector.
      */
     std::size_t add(std::string name, JobFn fn);
+
+    /** Queue a resumable job (same rules as add()). */
+    std::size_t addResumable(std::string name, StepFn fn);
+
+    /**
+     * Wake a parked job (thread-safe; callable from job bodies — the
+     * usual caller is a RingChannel wake hook running on a peer's
+     * worker). If the job is mid-step, the wake is latched so the
+     * subsequent Blocked return re-queues instead of parking. No-op for
+     * queued/finished jobs or outside run().
+     */
+    void notify(std::size_t index);
 
     /**
      * Execute every queued job to completion and return per-job results in
@@ -98,13 +138,24 @@ class Fleet
     struct Job
     {
         std::string name;
-        JobFn fn;
+        StepFn fn;
         std::size_t index; //!< submission order == result slot
         unsigned home;     //!< worker the job was dealt to
     };
 
+    /** Lifecycle of one job during run(). */
+    enum class JobState : std::uint8_t
+    {
+        Queued,   //!< in some worker's deque
+        Running,  //!< a worker is inside the body
+        Parked,   //!< Blocked; held in parked_ awaiting notify()
+        Woken,    //!< Running with a latched notify()
+        Finished, //!< done or failed
+    };
+
     /** One worker's deque; the mutex covers only deque operations (job
-     *  bodies run outside any lock). */
+     *  bodies run outside any lock). Lock order: schedMutex_ before any
+     *  Worker::mutex, never the reverse. */
     struct Worker
     {
         Mutex mutex;
@@ -113,6 +164,7 @@ class Fleet
 
     bool popOwn(unsigned w, Job &out);
     bool stealFrom(unsigned thief, Job &out);
+    void enqueue(Job job) KVMARM_REQUIRES(schedMutex_);
     void workerMain(unsigned w, std::vector<JobResult> &results);
 
     unsigned threads_;
@@ -122,6 +174,17 @@ class Fleet
     std::atomic<bool> running_{false};
     std::vector<Job> pending_;
     std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Scheduling state shared by workers and notify(). */
+    Mutex schedMutex_;
+    std::condition_variable_any cv_;
+    std::vector<JobState> state_ KVMARM_GUARDED_BY(schedMutex_);
+    std::vector<Job> parked_ KVMARM_GUARDED_BY(schedMutex_);
+    std::size_t unfinished_ KVMARM_GUARDED_BY(schedMutex_) = 0;
+    std::size_t queuedCount_ KVMARM_GUARDED_BY(schedMutex_) = 0;
+    unsigned runningCount_ KVMARM_GUARDED_BY(schedMutex_) = 0;
+    unsigned idleWorkers_ KVMARM_GUARDED_BY(schedMutex_) = 0;
+
     Mutex statsMutex_;
     Stats stats_ KVMARM_GUARDED_BY(statsMutex_);
 };

@@ -53,12 +53,41 @@ MachineBase::unregisterSnapshottable(Snapshottable *s)
         snapshottables_.erase(it);
 }
 
+std::uint64_t
+MachineBase::addSnapshotBlocker(std::string reason)
+{
+    std::uint64_t token = nextBlockerToken_++;
+    snapshotBlockers_.emplace_back(token, std::move(reason));
+    return token;
+}
+
+void
+MachineBase::removeSnapshotBlocker(std::uint64_t token)
+{
+    auto it = std::find_if(snapshotBlockers_.begin(), snapshotBlockers_.end(),
+                           [&](const auto &b) { return b.first == token; });
+    if (it == snapshotBlockers_.end())
+        fatal("MachineBase::removeSnapshotBlocker: unknown token %llu",
+              static_cast<unsigned long long>(token));
+    snapshotBlockers_.erase(it);
+}
+
 std::shared_ptr<const MachineSnapshot>
 MachineBase::takeSnapshot()
 {
     if (running_)
         fatal("MachineBase::takeSnapshot: machine is running; snapshots "
               "require a quiesced machine");
+    if (!snapshotBlockers_.empty()) {
+        std::string reasons;
+        for (const auto &b : snapshotBlockers_) {
+            if (!reasons.empty())
+                reasons += "; ";
+            reasons += b.second;
+        }
+        fatal("MachineBase::takeSnapshot: machine holds externally visible "
+              "state a snapshot would silently drop: %s", reasons.c_str());
+    }
     auto snap = std::make_shared<MachineSnapshot>();
     snap->records.reserve(snapshottables_.size());
     for (Snapshottable *s : snapshottables_) {
@@ -100,12 +129,38 @@ MachineBase::restoreSnapshot(const MachineSnapshot &snap)
     stopRequested_ = false;
 }
 
+bool
+MachineBase::finished() const
+{
+    for (const CpuBase *c : cpusBase_) {
+        if (c->hasEntry() && !c->fiberFinished())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+MachineBase::nextActivity() const
+{
+    Cycles best = kNoDeadline;
+    for (CpuBase *c : cpusBase_) {
+        if (c->hasEntry() && !c->fiberFinished())
+            best = std::min(best, c->effectiveClock());
+    }
+    return best;
+}
+
 void
-MachineBase::runSingle()
+MachineBase::runSingle(Cycles haltAt)
 {
     CpuBase *c = cpusBase_.front();
     while (!stopRequested_) {
         if (!c->hasEntry() || c->fiberFinished())
+            break;
+        // Only a bounded run treats the horizon as a quiesce point; in an
+        // unbounded run an idle CPU (kNoDeadline) must fall through to the
+        // deadlock diagnosis below, not match kNoDeadline >= kNoDeadline.
+        if (haltAt != kNoDeadline && c->effectiveClock() >= haltAt)
             break;
         if (c->effectiveClock() == kNoDeadline) {
             std::fprintf(stderr,
@@ -117,9 +172,9 @@ MachineBase::runSingle()
             panic("MachineBase::run: deadlock — every CPU is blocked with "
                   "no pending events");
         }
-        // With no second CPU there is no laggard to yield to; the same
-        // threshold the general loop computes (second == kNoDeadline).
-        c->setYieldThreshold(kNoDeadline);
+        // With no second CPU there is no laggard to yield to; the horizon
+        // is the only thing to stop for (kNoDeadline when unbounded).
+        c->setYieldThreshold(haltAt);
         running_ = c;
         c->resumeFiber();
         running_ = nullptr;
@@ -127,11 +182,11 @@ MachineBase::runSingle()
 }
 
 void
-MachineBase::run()
+MachineBase::run(Cycles haltAt)
 {
     stopRequested_ = false;
     if (cpusBase_.size() == 1) {
-        runSingle();
+        runSingle(haltAt);
         return;
     }
     while (!stopRequested_) {
@@ -156,6 +211,11 @@ MachineBase::run()
 
         if (!any_unfinished)
             break;
+        // Every unfinished CPU is at or past a bounded horizon: quiesce and
+        // hand control back to the caller (rendezvous boundary, not
+        // deadlock). An unbounded run must keep the deadlock check below.
+        if (haltAt != kNoDeadline && best_clock >= haltAt)
+            break;
         if (!best || best_clock == kNoDeadline) {
             for (CpuBase *c : cpusBase_) {
                 std::fprintf(stderr,
@@ -169,9 +229,10 @@ MachineBase::run()
                   "no pending events");
         }
 
-        best->setYieldThreshold(second_clock == kNoDeadline
-                                    ? kNoDeadline
-                                    : second_clock + quantum_);
+        Cycles threshold = second_clock == kNoDeadline
+                               ? kNoDeadline
+                               : second_clock + quantum_;
+        best->setYieldThreshold(std::min(threshold, haltAt));
         running_ = best;
         best->resumeFiber();
         running_ = nullptr;

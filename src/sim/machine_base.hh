@@ -12,6 +12,8 @@
 #define KVMARM_SIM_MACHINE_BASE_HH
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/snapshot.hh"
@@ -37,7 +39,30 @@ class MachineBase
      * stop is requested. Throws via panic() on cross-CPU deadlock (all
      * blocked with no pending events).
      */
-    void run();
+    void run() { run(kNoDeadline); }
+
+    /**
+     * Run until every unfinished CPU's effective clock reaches @p haltAt
+     * (or all finish / stop is requested), then return with the machine
+     * quiesced. The horizon caps yield thresholds, so a CPU overshoots
+     * the boundary by at most one instruction's cycle cost — the same
+     * deterministic overshoot regardless of how many run() calls the
+     * execution is sliced into. A machine blocked with no pending events
+     * under a finite horizon simply returns (the caller decides whether
+     * that is idleness or deadlock); the deadlock panic fires only for
+     * the unbounded form.
+     */
+    void run(Cycles haltAt);
+
+    /** True when every CPU that has an entry has finished its fiber. */
+    bool finished() const;
+
+    /**
+     * Earliest cycle at which an unfinished CPU can make progress (its
+     * effective clock), or kNoDeadline when all unfinished CPUs are
+     * blocked with no pending events.
+     */
+    Cycles nextActivity() const;
 
     /** Ask run() to return at the next scheduling point. Suspended fibers
      *  are abandoned (their stacks are reclaimed with the machine). */
@@ -112,6 +137,16 @@ class MachineBase
      * snapshotRebind (callback/pointer fix-ups), then snapshotVerify.
      */
     void restoreSnapshot(const MachineSnapshot &snap);
+
+    /**
+     * Block takeSnapshot() while some component holds externally visible
+     * state a positional record set cannot capture (e.g. a live inter-VM
+     * ring endpoint with in-flight messages). takeSnapshot() fatals with
+     * every registered reason rather than silently dropping that state.
+     * Returns a token for removeSnapshotBlocker().
+     */
+    std::uint64_t addSnapshotBlocker(std::string reason);
+    void removeSnapshotBlocker(std::uint64_t token);
     /// @}
 
   protected:
@@ -126,10 +161,12 @@ class MachineBase
   private:
     /** Run loop specialization for machines with one CPU: no second-best
      *  clock exists, so skip the scheduler scan and resume the lone fiber
-     *  with an open yield threshold. */
-    void runSingle();
+     *  with the horizon as its yield threshold. */
+    void runSingle(Cycles haltAt);
 
     std::vector<Snapshottable *> snapshottables_;
+    std::vector<std::pair<std::uint64_t, std::string>> snapshotBlockers_;
+    std::uint64_t nextBlockerToken_ = 1;
     /** Deletes through the registered destroy hook (the sim layer never
      *  sees the complete InvariantEngine type). */
     struct CheckEngineDeleter

@@ -78,6 +78,29 @@ class KVMARM_SCOPED_CAPABILITY MutexLock
     Mutex &m_;
 };
 
+/**
+ * std::unique_lock over Mutex for condition-variable waits, visible to
+ * the analysis. The analysis treats the capability as held for the whole
+ * scope; a condition_variable_any wait on native() releases and reacquires
+ * it atomically with the sleep, so guarded accesses around (and inside the
+ * predicate of) the wait are in fact protected.
+ */
+class KVMARM_SCOPED_CAPABILITY CondLock
+{
+  public:
+    explicit CondLock(Mutex &m) KVMARM_ACQUIRE(m) : lock_(m) {}
+    ~CondLock() KVMARM_RELEASE() {}
+
+    CondLock(const CondLock &) = delete;
+    CondLock &operator=(const CondLock &) = delete;
+
+    /** The underlying lock object, for condition_variable_any::wait. */
+    std::unique_lock<Mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<Mutex> lock_;
+};
+
 } // namespace kvmarm
 
 #endif // KVMARM_SIM_THREAD_ANNOTATIONS_HH

@@ -1,0 +1,257 @@
+#include "vdev/vring.hh"
+
+#include "arm/machine.hh"
+#include "check/invariants.hh"
+#include "core/vm.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm::vdev {
+
+using arm::ArmMachine;
+
+namespace {
+
+/** FNV-1a folds; the digest is a pure function of simulated execution. */
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xFF;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+foldBytes(std::uint64_t h, const std::vector<std::uint8_t> &bytes)
+{
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+VringDevice::VringDevice(core::Kvm &kvm, core::Vm &vm,
+                         RingChannel::Endpoint &ep, const Config &cfg)
+    : kvm_(kvm), vm_(vm), ep_(ep), cfg_(cfg),
+      txRing_(ArmMachine::kRamBase + vringdev::kTxRingOff),
+      rxRing_(ArmMachine::kRamBase + vringdev::kRxRingOff)
+{
+    if (cfg_.entries == 0)
+        fatal("VringDevice('%s'): zero-entry ring",
+              ep_.channel().name().c_str());
+    vm_.setUserMmioHandler(
+        [this](arm::ArmCpu &cpu, core::VCpu &vcpu, core::MmioExit &exit) {
+            handleMmio(cpu, vcpu, exit);
+        });
+    // Deliveries arrive at window pulls (machine quiesced) and become
+    // ordinary events at their protocol delivery cycle, so the guest sees
+    // them through the same event drain as every other device.
+    ep_.setReceiver([this](const RingMessage &msg) {
+        kvm_.machine().cpu(0).events().schedule(
+            msg.deliverCycle, [this, msg] { deliver(msg); });
+    });
+    blockerToken_ = kvm_.machine().addSnapshotBlocker(
+        "vring device on ring '" + ep_.channel().name() +
+        "' holds live inter-VM ring state (progress counters and "
+        "possibly in-flight messages) that a snapshot cannot capture");
+}
+
+VringDevice::VringDevice(core::Kvm &kvm, core::Vm &vm,
+                         RingChannel::Endpoint &ep)
+    : VringDevice(kvm, vm, ep, Config{})
+{
+}
+
+VringDevice::~VringDevice()
+{
+    kvm_.machine().removeSnapshotBlocker(blockerToken_);
+}
+
+std::uint64_t
+VringDevice::digest() const
+{
+    return fold(txDigest_, rxDigest_);
+}
+
+std::uint64_t
+VringDevice::dmaRead(Addr ipa, unsigned len)
+{
+    vm_.stage2().handleRamFault(ipa);
+    auto pa = vm_.stage2().ipaToPa(ipa);
+    if (!pa)
+        fatal("VringDevice('%s'): DMA read at unmapped IPA 0x%llx",
+              ep_.channel().name().c_str(),
+              static_cast<unsigned long long>(ipa));
+    return kvm_.machine().ram().read(*pa, len);
+}
+
+void
+VringDevice::dmaWrite(Addr ipa, std::uint64_t value, unsigned len)
+{
+    vm_.stage2().handleRamFault(ipa);
+    auto pa = vm_.stage2().ipaToPa(ipa);
+    if (!pa)
+        fatal("VringDevice('%s'): DMA write at unmapped IPA 0x%llx",
+              ep_.channel().name().c_str(),
+              static_cast<unsigned long long>(ipa));
+    kvm_.machine().ram().write(*pa, value, len);
+}
+
+void
+VringDevice::handleMmio(arm::ArmCpu &cpu, core::VCpu &vcpu,
+                        core::MmioExit &exit)
+{
+    (void)vcpu;
+    if (exit.ipa < cfg_.mmioBase ||
+        exit.ipa >= cfg_.mmioBase + vringdev::kMmioSize) {
+        exit.handled = false;
+        return;
+    }
+    cpu.compute(vringdev::kMmioWork);
+    Addr off = exit.ipa - cfg_.mmioBase;
+    if (exit.isWrite) {
+        switch (off) {
+          case vringdev::DOORBELL:
+            handleDoorbell(cpu, static_cast<std::uint32_t>(exit.data));
+            break;
+          case vringdev::RX_ACK: {
+            std::uint64_t acked = exit.data;
+            if (acked < rxAcked_ || acked > rxUsed_)
+                fatal("VringDevice('%s'): RX_ACK %llu outside [%llu, %llu]",
+                      ep_.channel().name().c_str(),
+                      static_cast<unsigned long long>(acked),
+                      static_cast<unsigned long long>(rxAcked_),
+                      static_cast<unsigned long long>(rxUsed_));
+            rxAcked_ = acked;
+            break;
+          }
+          default:
+            exit.handled = false;
+            return;
+        }
+    } else {
+        switch (off) {
+          case vringdev::TX_USED:
+            exit.data = txUsed_;
+            break;
+          case vringdev::RX_USED:
+            exit.data = rxUsed_;
+            break;
+          case vringdev::RING_SIZE:
+            exit.data = cfg_.entries;
+            break;
+          default:
+            exit.handled = false;
+            return;
+        }
+    }
+    exit.handled = true;
+}
+
+void
+VringDevice::handleDoorbell(arm::ArmCpu &cpu, std::uint32_t availIdx)
+{
+    const char *ring = ep_.channel().name().c_str();
+    if (availIdx < txUsed_ || availIdx - txUsed_ > cfg_.entries)
+        fatal("VringDevice('%s'): doorbell avail index %u with used %llu "
+              "(ring holds %u entries)",
+              ring, availIdx, static_cast<unsigned long long>(txUsed_),
+              cfg_.entries);
+    while (txUsed_ < availIdx) {
+        std::uint64_t seq = txUsed_;
+        unsigned slot = static_cast<unsigned>(seq % cfg_.entries);
+        Addr desc = txRing_ + vringdev::kHdrBytes +
+                    slot * vringdev::kDescBytes;
+        Addr addr = dmaRead(desc, 8);
+        std::uint32_t len =
+            static_cast<std::uint32_t>(dmaRead(desc + 8, 4));
+        if (len == 0 || len > cfg_.bufBytes)
+            fatal("VringDevice('%s'): TX descriptor %u has payload length "
+                  "%u (buffer holds %u)",
+                  ring, slot, len, cfg_.bufBytes);
+        std::vector<std::uint8_t> payload(len);
+        std::uint32_t got = 0;
+        while (got + 8 <= len) {
+            std::uint64_t chunk = dmaRead(addr + got, 8);
+            for (unsigned b = 0; b < 8; ++b)
+                payload[got + b] = (chunk >> (b * 8)) & 0xFF;
+            got += 8;
+        }
+        for (; got < len; ++got)
+            payload[got] =
+                static_cast<std::uint8_t>(dmaRead(addr + got, 1));
+
+        txDigest_ = fold(txDigest_, cpu.now());
+        txDigest_ = fold(txDigest_, seq);
+        txDigest_ = foldBytes(txDigest_, payload);
+
+        std::uint64_t sent = ep_.send(cpu.now(), std::move(payload));
+        if (sent != seq)
+            fatal("VringDevice('%s'): channel send seq %llu but ring seq "
+                  "%llu — another sender is sharing this endpoint",
+                  ring, static_cast<unsigned long long>(sent),
+                  static_cast<unsigned long long>(seq));
+
+        ++txUsed_;
+        dmaWrite(txRing_ + vringdev::kHdrUsed, txUsed_ & 0xFFFFFFFF, 4);
+        KVMARM_CHECK_ON(kvm_.machine().checkEngine(),
+                        ringDoorbell(&kvm_.machine(), cpu.id(), ring, seq,
+                                     cpu.now(),
+                                     static_cast<std::uint32_t>(txUsed_)));
+    }
+    // TX completion interrupt: the KVM_IRQ_LINE path through the vGIC.
+    vm_.irqLine(cpu, cfg_.txSpi);
+}
+
+void
+VringDevice::deliver(const RingMessage &msg)
+{
+    const char *ring = ep_.channel().name().c_str();
+    if (rxUsed_ - rxAcked_ >= cfg_.entries)
+        fatal("VringDevice('%s'): RX ring overrun — %llu deliveries "
+              "outstanding, guest acked %llu, ring holds %u",
+              ring, static_cast<unsigned long long>(rxUsed_),
+              static_cast<unsigned long long>(rxAcked_), cfg_.entries);
+    unsigned slot = static_cast<unsigned>(rxUsed_ % cfg_.entries);
+    Addr payloadIpa =
+        rxRing_ + vringdev::kPayloadOff + slot * cfg_.bufBytes;
+    std::uint32_t len = static_cast<std::uint32_t>(msg.payload.size());
+    std::uint32_t put = 0;
+    while (put + 8 <= len) {
+        std::uint64_t chunk = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            chunk |= static_cast<std::uint64_t>(msg.payload[put + b])
+                     << (b * 8);
+        dmaWrite(payloadIpa + put, chunk, 8);
+        put += 8;
+    }
+    for (; put < len; ++put)
+        dmaWrite(payloadIpa + put, msg.payload[put], 1);
+
+    Addr desc =
+        rxRing_ + vringdev::kHdrBytes + slot * vringdev::kDescBytes;
+    dmaWrite(desc, payloadIpa, 8);
+    dmaWrite(desc + 8, len, 4);
+
+    rxDigest_ = fold(rxDigest_, msg.deliverCycle);
+    rxDigest_ = fold(rxDigest_, msg.seq);
+    rxDigest_ = foldBytes(rxDigest_, msg.payload);
+
+    ++rxUsed_;
+    dmaWrite(rxRing_ + vringdev::kHdrUsed, rxUsed_ & 0xFFFFFFFF, 4);
+
+    arm::ArmCpu &cpu = kvm_.machine().cpu(0);
+    KVMARM_CHECK_ON(kvm_.machine().checkEngine(),
+                    ringDeliver(&kvm_.machine(), cpu.id(), ring, msg.seq,
+                                msg.deliverCycle,
+                                static_cast<std::uint32_t>(rxUsed_)));
+    // RX interrupt: same KVM_IRQ_LINE/vGIC injection as a physical
+    // device completion.
+    vm_.irqLine(cpu, cfg_.rxSpi);
+}
+
+} // namespace kvmarm::vdev

@@ -1,0 +1,203 @@
+#include "workload/ring_driver.hh"
+
+#include "arm/gic.hh"
+#include "arm/machine.hh"
+#include "sim/logging.hh"
+
+namespace kvmarm::wl {
+
+using arm::ArmCpu;
+using arm::ArmMachine;
+using vdev::vringdev::kHdrAvail;
+using vdev::vringdev::kHdrBytes;
+using vdev::vringdev::kHdrUsed;
+using vdev::vringdev::kDescBytes;
+using vdev::vringdev::kPayloadOff;
+
+RingGuestOs::RingGuestOs(const vdev::VringDevice::Config &cfg)
+    : cfg_(cfg),
+      txRing_(ArmMachine::kRamBase + vdev::vringdev::kTxRingOff),
+      rxRing_(ArmMachine::kRamBase + vdev::vringdev::kRxRingOff)
+{
+}
+
+Addr
+RingGuestOs::txDesc(unsigned slot) const
+{
+    return txRing_ + kHdrBytes + slot * kDescBytes;
+}
+
+Addr
+RingGuestOs::txBuf(unsigned slot) const
+{
+    return txRing_ + kPayloadOff + slot * cfg_.bufBytes;
+}
+
+Addr
+RingGuestOs::rxDesc(unsigned slot) const
+{
+    return rxRing_ + kHdrBytes + slot * kDescBytes;
+}
+
+void
+RingGuestOs::irq(ArmCpu &cpu)
+{
+    std::uint32_t iar = static_cast<std::uint32_t>(
+        cpu.memRead(ArmMachine::kGiccBase + arm::gicc::IAR, 4));
+    IrqId irq_id = iar & 0x3FF;
+    if (irq_id == arm::kSpuriousIrq)
+        return;
+    if (irq_id == cfg_.txSpi)
+        ++txIrqs_;
+    else if (irq_id == cfg_.rxSpi)
+        ++rxIrqs_;
+    cpu.memWrite(ArmMachine::kGiccBase + arm::gicc::EOIR, iar);
+}
+
+void
+RingGuestOs::init(ArmCpu &cpu)
+{
+    // GIC bring-up: distributor on, ring SPIs enabled and routed to this
+    // CPU, CPU interface open at the lowest priority mask.
+    cpu.memWrite(ArmMachine::kGicdBase + arm::gicd::CTLR, 1);
+    std::uint32_t bits = (1u << (cfg_.txSpi - 32)) | (1u << (cfg_.rxSpi - 32));
+    cpu.memWrite(ArmMachine::kGicdBase + arm::gicd::ISENABLER + 4, bits);
+    cpu.memWrite(ArmMachine::kGicdBase + arm::gicd::ITARGETSR + cfg_.txSpi,
+                 1, 1);
+    cpu.memWrite(ArmMachine::kGicdBase + arm::gicd::ITARGETSR + cfg_.rxSpi,
+                 1, 1);
+    cpu.memWrite(ArmMachine::kGiccBase + arm::gicc::PMR, 0xFF);
+    cpu.memWrite(ArmMachine::kGiccBase + arm::gicc::CTLR, 1);
+    cpu.setIrqMasked(false);
+
+    // Ring headers: size, avail, used.
+    for (Addr ring : {txRing_, rxRing_}) {
+        cpu.memWrite(ring, cfg_.entries, 4);
+        cpu.memWrite(ring + kHdrAvail, 0, 4);
+        cpu.memWrite(ring + kHdrUsed, 0, 4);
+    }
+}
+
+void
+RingGuestOs::send(ArmCpu &cpu, std::uint32_t tag, std::uint32_t len)
+{
+    if (len < 4 || len > cfg_.bufBytes)
+        fatal("RingGuestOs::send: payload length %u outside [4, %u]", len,
+              cfg_.bufBytes);
+    unsigned slot = static_cast<unsigned>(txPosted_ % cfg_.entries);
+    Addr buf = txBuf(slot);
+
+    // Deterministic payload: first word is the tag, the rest a
+    // tag-derived byte pattern. Every store is a charged guest access.
+    std::uint32_t off = 0;
+    while (off + 8 <= len) {
+        std::uint64_t word = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            std::uint32_t i = off + b;
+            std::uint8_t byte =
+                i < 4 ? static_cast<std::uint8_t>(tag >> (i * 8))
+                      : static_cast<std::uint8_t>((tag ^ i) & 0xFF);
+            word |= static_cast<std::uint64_t>(byte) << (b * 8);
+        }
+        cpu.memWrite(buf + off, word, 8);
+        off += 8;
+    }
+    for (; off < len; ++off) {
+        std::uint8_t byte =
+            off < 4 ? static_cast<std::uint8_t>(tag >> (off * 8))
+                    : static_cast<std::uint8_t>((tag ^ off) & 0xFF);
+        cpu.memWrite(buf + off, byte, 1);
+    }
+
+    Addr desc = txDesc(slot);
+    cpu.memWrite(desc, buf, 8);
+    cpu.memWrite(desc + 8, len, 4);
+    cpu.memWrite(desc + 12, 0, 4);
+
+    ++txPosted_;
+    cpu.memWrite(txRing_ + kHdrAvail, txPosted_ & 0xFFFFFFFF, 4);
+    // The doorbell: an MMIO store that traps to Hyp, walks Stage-2 and
+    // exits to user-space emulation — the paper's full I/O path.
+    cpu.memWrite(cfg_.mmioBase + vdev::vringdev::DOORBELL,
+                 txPosted_ & 0xFFFFFFFF, 4);
+}
+
+std::uint64_t
+RingGuestOs::waitRx(ArmCpu &cpu, std::uint64_t target)
+{
+    // The RX used index in the ring header is written by the device
+    // before it injects the RX SPI, and WFI returns immediately when an
+    // interrupt is already pending, so this loop has no lost-wakeup
+    // window.
+    std::uint64_t used;
+    while ((used = cpu.memRead(rxRing_ + kHdrUsed, 4)) < target)
+        cpu.wfi();
+    return used;
+}
+
+std::uint32_t
+RingGuestOs::consume(ArmCpu &cpu)
+{
+    std::uint64_t used = cpu.memRead(rxRing_ + kHdrUsed, 4);
+    if (rxConsumed_ >= used)
+        fatal("RingGuestOs::consume: nothing pending (consumed %llu, "
+              "delivered %llu)",
+              static_cast<unsigned long long>(rxConsumed_),
+              static_cast<unsigned long long>(used));
+    unsigned slot = static_cast<unsigned>(rxConsumed_ % cfg_.entries);
+    Addr desc = rxDesc(slot);
+    Addr buf = cpu.memRead(desc, 8);
+    std::uint32_t len = static_cast<std::uint32_t>(cpu.memRead(desc + 8, 4));
+    if (len < 4 || len > cfg_.bufBytes)
+        fatal("RingGuestOs::consume: RX descriptor %u has length %u", slot,
+              len);
+
+    std::uint32_t tag = 0;
+    std::uint32_t off = 0;
+    while (off + 8 <= len) {
+        std::uint64_t word = cpu.memRead(buf + off, 8);
+        for (unsigned b = 0; b < 8; ++b) {
+            std::uint8_t byte = (word >> (b * 8)) & 0xFF;
+            if (off + b < 4)
+                tag |= static_cast<std::uint32_t>(byte) << ((off + b) * 8);
+            checksum_ ^= byte;
+            checksum_ *= 0x100000001b3ull;
+        }
+        off += 8;
+    }
+    for (; off < len; ++off) {
+        std::uint8_t byte =
+            static_cast<std::uint8_t>(cpu.memRead(buf + off, 1));
+        if (off < 4)
+            tag |= static_cast<std::uint32_t>(byte) << (off * 8);
+        checksum_ ^= byte;
+        checksum_ *= 0x100000001b3ull;
+    }
+
+    ++rxConsumed_;
+    cpu.memWrite(cfg_.mmioBase + vdev::vringdev::RX_ACK,
+                 rxConsumed_ & 0xFFFFFFFF, 4);
+    return tag;
+}
+
+void
+RingGuestOs::pingPong(ArmCpu &cpu, unsigned rounds, bool initiator,
+                      std::uint32_t len)
+{
+    for (unsigned r = 0; r < rounds; ++r) {
+        if (initiator) {
+            send(cpu, r, len);
+            waitRx(cpu, rxConsumed_ + 1);
+            std::uint32_t tag = consume(cpu);
+            if (tag != r)
+                fatal("RingGuestOs::pingPong: round %u echoed tag %u", r,
+                      tag);
+        } else {
+            waitRx(cpu, rxConsumed_ + 1);
+            std::uint32_t tag = consume(cpu);
+            send(cpu, tag, len);
+        }
+    }
+}
+
+} // namespace kvmarm::wl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Guest-side driver for the shared-memory inter-VM ring (DESIGN.md
+ * §4.10). Mirrors the register map and ring layout published by
+ * vdev::VringDevice: the guest fills a TX descriptor + payload buffer in
+ * its own RAM, bumps the avail index and writes the doorbell register —
+ * an MMIO trap that walks the full trap → Stage-2 → user-space-emulation
+ * path. Received messages show up in the RX ring with an injected SPI;
+ * the driver consumes them under a conventional IAR/EOIR interrupt
+ * handler and acknowledges through the RX_ACK register.
+ *
+ * Everything here runs *inside* the guest: every access is a trapped or
+ * virtualized guest operation charged to the vCPU, so the driver's
+ * behaviour (and its payload checksum) is a pure function of simulated
+ * execution.
+ */
+
+#ifndef KVMARM_WORKLOAD_RING_DRIVER_HH
+#define KVMARM_WORKLOAD_RING_DRIVER_HH
+
+#include <cstdint>
+
+#include "arm/cpu.hh"
+#include "arm/vectors.hh"
+#include "vdev/vring.hh"
+
+namespace kvmarm::wl {
+
+/** Minimal guest OS that owns one vring endpoint. */
+class RingGuestOs : public arm::OsVectors
+{
+  public:
+    explicit RingGuestOs(
+        const vdev::VringDevice::Config &cfg = vdev::VringDevice::Config{});
+
+    // arm::OsVectors
+    void irq(arm::ArmCpu &cpu) override;
+    void svc(arm::ArmCpu &, std::uint32_t) override {}
+    bool pageFault(arm::ArmCpu &, Addr, bool, bool) override
+    {
+        return false;
+    }
+    const char *name() const override { return "ring-guest"; }
+
+    /** Guest boot: GIC distributor + CPU interface bring-up, enable the
+     *  ring SPIs, zero the ring headers. Call once before send/wait. */
+    void init(arm::ArmCpu &cpu);
+
+    /**
+     * Post one message whose payload is a deterministic pattern derived
+     * from @p tag: fills the next TX descriptor and payload buffer, bumps
+     * the avail index in the ring header, and rings the doorbell (MMIO
+     * trap). The device consumes descriptors synchronously at the
+     * doorbell, so the TX ring never backs up.
+     */
+    void send(arm::ArmCpu &cpu, std::uint32_t tag, std::uint32_t len);
+
+    /** Block (WFI) until at least @p target messages have been delivered
+     *  since init. Returns the delivered count (≥ target). */
+    std::uint64_t waitRx(arm::ArmCpu &cpu, std::uint64_t target);
+
+    /**
+     * Consume the oldest unacknowledged RX message: read the descriptor
+     * and payload out of the RX ring, fold the bytes into the guest-side
+     * checksum, and write the RX_ACK register. Fatals when nothing is
+     * pending. @return the message's tag (first payload word).
+     */
+    std::uint32_t consume(arm::ArmCpu &cpu);
+
+    /** Messages sent / consumed by this guest so far. */
+    std::uint64_t sent() const { return txPosted_; }
+    std::uint64_t consumed() const { return rxConsumed_; }
+    /** IRQs taken, by kind (TX-complete / RX-delivery). */
+    std::uint64_t txIrqs() const { return txIrqs_; }
+    std::uint64_t rxIrqs() const { return rxIrqs_; }
+    /** FNV-1a over every payload byte this guest consumed, in order. */
+    std::uint64_t checksum() const { return checksum_; }
+
+    /**
+     * Ping-pong body for one guest of a connected pair: the initiator
+     * sends @p rounds tagged messages, waiting for each echo; the
+     * responder echoes each received message back. Returns after
+     * @p rounds round trips.
+     */
+    void pingPong(arm::ArmCpu &cpu, unsigned rounds, bool initiator,
+                  std::uint32_t len);
+
+  private:
+    Addr txDesc(unsigned slot) const;
+    Addr txBuf(unsigned slot) const;
+    Addr rxDesc(unsigned slot) const;
+
+    vdev::VringDevice::Config cfg_;
+    Addr txRing_;
+    Addr rxRing_;
+    std::uint64_t txPosted_ = 0;   //!< messages posted to the TX ring
+    std::uint64_t rxConsumed_ = 0; //!< RX messages consumed + acked
+    std::uint64_t txIrqs_ = 0;
+    std::uint64_t rxIrqs_ = 0;
+    std::uint64_t checksum_ = 0x811c9dc5;
+};
+
+} // namespace kvmarm::wl
+
+#endif // KVMARM_WORKLOAD_RING_DRIVER_HH

@@ -548,6 +548,76 @@ TEST(EngineSharding, RuleShadowStateIsNotShared)
     EXPECT_EQ(eb->violationCount("ws-pairing"), 0u);
 }
 
+// --------------------------------------------------------------- ring-order
+
+TEST(RingOrderRule, CleanMessageStreamPasses)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        eng.ringDoorbell(&dom, 0, "ring0", i, 1000 * (i + 1),
+                         static_cast<std::uint32_t>(i + 1));
+        eng.ringDeliver(&dom, 0, "ring0", i, 1000 * (i + 1) + 500,
+                        static_cast<std::uint32_t>(i + 1));
+    }
+    EXPECT_EQ(eng.violationCount("ring-order"), 0u);
+}
+
+TEST(RingOrderRule, FlagsSequenceGapAndReplay)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    eng.ringDoorbell(&dom, 0, "ring0", 0, 1000, 1);
+    eng.ringDoorbell(&dom, 0, "ring0", 2, 2000, 2); // skipped seq 1
+    EXPECT_EQ(eng.violationCount("ring-order"), 1u);
+    eng.ringDoorbell(&dom, 0, "ring0", 2, 3000, 3); // replayed seq 2
+    EXPECT_EQ(eng.violationCount("ring-order"), 2u);
+}
+
+TEST(RingOrderRule, FlagsCycleRegression)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    eng.ringDeliver(&dom, 0, "ring0", 0, 5000, 1);
+    eng.ringDeliver(&dom, 0, "ring0", 1, 4000, 2); // behind predecessor
+    EXPECT_EQ(eng.violationCount("ring-order"), 1u);
+}
+
+TEST(RingOrderRule, FlagsRingIndexJump)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int dom = 0;
+    auto &eng = check::engine();
+    eng.ringDoorbell(&dom, 0, "ring0", 0, 1000, 1);
+    eng.ringDoorbell(&dom, 0, "ring0", 1, 2000, 3); // avail idx 1 -> 3
+    EXPECT_EQ(eng.violationCount("ring-order"), 1u);
+}
+
+TEST(RingOrderRule, DirectionsAndDomainsTrackIndependently)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    int domA = 0, domB = 0;
+    auto &eng = check::engine();
+    // Doorbell and delivery keep separate sequence state for one ring...
+    eng.ringDoorbell(&domA, 0, "ring0", 0, 1000, 1);
+    eng.ringDeliver(&domA, 1, "ring0", 0, 1500, 1);
+    // ...and the same ring name in a different machine starts fresh.
+    eng.ringDoorbell(&domB, 0, "ring0", 0, 800, 1);
+    EXPECT_EQ(eng.violationCount("ring-order"), 0u);
+}
+
+TEST(RingOrderRule, EnforceModeThrowsOnViolation)
+{
+    ScopedCheckMode scoped(CheckMode::Enforce);
+    int dom = 0;
+    auto &eng = check::engine();
+    eng.ringDoorbell(&dom, 0, "ring0", 0, 1000, 1);
+    EXPECT_THROW(eng.ringDoorbell(&dom, 0, "ring0", 5, 2000, 2), FatalError);
+}
+
 TEST(EngineSharding, FacadePropagatesModeToLiveEngines)
 {
     // Machine constructed before any ScopedCheckMode (VgicRuleTest

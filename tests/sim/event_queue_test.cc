@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "arm/machine.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/snapshot.hh"
@@ -251,6 +252,97 @@ TEST(EventQueueSnapshot, BogusClaimsAreFatal)
     EXPECT_THROW(r.claim(id + 1000, [] {}), FatalError); // unknown id
     r.claim(id, [] {});
     EXPECT_THROW(r.claim(id, [] {}), FatalError); // double claim
+}
+
+TEST(EventQueueKicks, SameCycleKicksCoalesce)
+{
+    // A storm of kicks at one cycle (e.g. every ring doorbell in a burst
+    // waking the same blocked CPU) must cost one pending event, not N.
+    EventQueue q;
+    auto id0 = q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    auto id1 = q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    auto id2 = q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    EXPECT_EQ(id1, id0); // the live kick's id is returned
+    EXPECT_EQ(id2, id0);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.kicksCoalesced(), 2u);
+}
+
+TEST(EventQueueKicks, DistinctCyclesAndKindsDoNotCoalesce)
+{
+    EventQueue q;
+    q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    q.schedule(200, [] {}, EventQueue::Kind::Kick); // different cycle
+    q.schedule(100, [] {});                         // Generic at same cycle
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.kicksCoalesced(), 0u);
+}
+
+TEST(EventQueueKicks, CoalescedKickStillFiresOnSchedule)
+{
+    // The machine scheduler's prompt-wake guarantee rests on onSchedule
+    // firing for EVERY kick — eliding the hook for a coalesced kick would
+    // let a running CPU keep a stale yield threshold and change
+    // interleavings (breaking bit-identical sim_cycles).
+    EventQueue q;
+    std::vector<Cycles> seen;
+    q.onSchedule = [&](Cycles when) { seen.push_back(when); };
+    q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    EXPECT_EQ(seen, (std::vector<Cycles>{100, 100, 100}));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueKicks, KickMayCoalesceAgainAfterRunning)
+{
+    EventQueue q;
+    q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    EXPECT_EQ(q.runDue(150), 1u);
+    // The kick ran; a new kick at the same cycle is a fresh event (past
+    // events run on the next drain, so this is still well-formed).
+    auto id = q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.kicksCoalesced(), 1u);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueKicks, CancelledKickNoLongerCoalesces)
+{
+    EventQueue q;
+    auto id = q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    EXPECT_TRUE(q.cancel(id));
+    auto id2 = q.schedule(100, [] {}, EventQueue::Kind::Kick);
+    EXPECT_NE(id2, id);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.kicksCoalesced(), 0u);
+}
+
+TEST(EventQueueKicks, CpuKickAtCoalesces)
+{
+    // CpuBase::kickAt goes through the same path: a blocked CPU kicked N
+    // times for the same wake cycle holds one pending kick event.
+    arm::ArmMachine::Config mc;
+    mc.numCpus = 1;
+    mc.ramSize = 32 * kMiB;
+    arm::ArmMachine machine(mc);
+    CpuBase &cpu = machine.cpu(0);
+    std::size_t before = cpu.events().size();
+    cpu.kickAt(5000);
+    cpu.kickAt(5000);
+    cpu.kickAt(5000);
+    EXPECT_EQ(cpu.events().size(), before + 1);
+    EXPECT_EQ(cpu.events().kicksCoalesced(), 2u);
+    bool woke = false;
+    machine.cpu(0).setEntry([&] {
+        cpu.waitUntil([&] { return cpu.now() >= 5000; });
+        woke = true;
+    });
+    machine.run();
+    EXPECT_TRUE(woke);
+    EXPECT_GE(cpu.now(), 5000u);
 }
 
 } // namespace

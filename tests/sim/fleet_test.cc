@@ -253,5 +253,125 @@ TEST(Fleet, WallTimeIsMeasuredPerJob)
     EXPECT_GE(results[0].wallSeconds, 0.015);
 }
 
+TEST(Fleet, ResumableJobParksAndResumesOnNotify)
+{
+    for (unsigned threads : {1u, 2u}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        Fleet fleet(threads);
+        std::atomic<unsigned> waiterSteps{0};
+        std::atomic<bool> started{false};
+        std::size_t waiter = fleet.addResumable("waiter", [&] {
+            started = true;
+            return ++waiterSteps == 1 ? Fleet::StepOutcome::Blocked
+                                      : Fleet::StepOutcome::Done;
+        });
+        // A notify before the first step would target a Queued job (a
+        // no-op); wait until the waiter has actually started stepping.
+        fleet.add("waker", [&] {
+            while (!started)
+                std::this_thread::yield();
+            fleet.notify(waiter);
+        });
+
+        std::vector<Fleet::JobResult> results = fleet.run();
+        EXPECT_TRUE(results[0].ok) << results[0].error;
+        EXPECT_TRUE(results[1].ok) << results[1].error;
+        EXPECT_EQ(waiterSteps.load(), 2u);
+        EXPECT_EQ(results[0].steps, 2u);
+        if (threads == 1)
+            EXPECT_GE(fleet.stats().jobsParked, 1u);
+    }
+}
+
+TEST(Fleet, NotifyWhileRunningIsLatchedNotLost)
+{
+    // The classic lost-wakeup: the notify lands while the job is still
+    // executing the step that is about to return Blocked. The fleet must
+    // latch it and convert the park into an immediate re-queue.
+    Fleet fleet(2);
+    std::atomic<bool> stepStarted{false};
+    std::atomic<bool> notified{false};
+    std::atomic<unsigned> steps{0};
+    std::size_t waiter = fleet.addResumable("waiter", [&] {
+        if (++steps == 1) {
+            stepStarted = true;
+            // Hold the step open until the notify has already happened.
+            while (!notified)
+                std::this_thread::yield();
+            return Fleet::StepOutcome::Blocked;
+        }
+        return Fleet::StepOutcome::Done;
+    });
+    fleet.add("waker", [&] {
+        while (!stepStarted)
+            std::this_thread::yield();
+        fleet.notify(waiter); // waiter is mid-step: must latch
+        notified = true;
+    });
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(steps.load(), 2u);
+}
+
+TEST(Fleet, ParkedJobWithNoWakerIsAFleetDeadlock)
+{
+    // A job that parks with no runnable peer left to wake it must be
+    // failed with a diagnostic, not hang the fleet forever.
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        Fleet fleet(threads);
+        fleet.addResumable("stuck",
+                           [] { return Fleet::StepOutcome::Blocked; });
+        fleet.add("bystander", [] {});
+        std::vector<Fleet::JobResult> results = fleet.run();
+        EXPECT_FALSE(results[0].ok);
+        EXPECT_NE(results[0].error.find("fleet rendezvous deadlock"),
+                  std::string::npos)
+            << results[0].error;
+        EXPECT_TRUE(results[1].ok);
+    }
+}
+
+TEST(Fleet, SingleThreadAlternatesCommunicatingJobs)
+{
+    // Two mutually-waking resumable jobs on ONE worker thread: parking
+    // must degrade to serial alternation, never a blocked worker.
+    Fleet fleet(1);
+    constexpr unsigned kRounds = 10;
+    unsigned turnsA = 0, turnsB = 0; // single thread: no atomics needed
+    std::size_t ia = 0, ib = 0;
+    ia = fleet.addResumable("a", [&] {
+        ++turnsA;
+        EXPECT_EQ(turnsA, turnsB + 1); // strict A,B,A,B alternation
+        fleet.notify(ib);
+        return turnsA < kRounds ? Fleet::StepOutcome::Blocked
+                                : Fleet::StepOutcome::Done;
+    });
+    ib = fleet.addResumable("b", [&] {
+        ++turnsB;
+        EXPECT_EQ(turnsB, turnsA);
+        fleet.notify(ia);
+        return turnsB < kRounds ? Fleet::StepOutcome::Blocked
+                                : Fleet::StepOutcome::Done;
+    });
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_TRUE(results[1].ok) << results[1].error;
+    EXPECT_EQ(turnsA, kRounds);
+    EXPECT_EQ(turnsB, kRounds);
+}
+
+TEST(Fleet, NotifyOutsideRunIsHarmless)
+{
+    Fleet fleet(1);
+    std::size_t idx =
+        fleet.addResumable("x", [] { return Fleet::StepOutcome::Done; });
+    fleet.notify(idx);        // before run: no-op
+    fleet.notify(idx + 1000); // out of range: no-op
+    std::vector<Fleet::JobResult> results = fleet.run();
+    EXPECT_TRUE(results[0].ok);
+    fleet.notify(idx); // after run: no-op
+}
+
 } // namespace
 } // namespace kvmarm

@@ -42,7 +42,8 @@ if not isinstance(doc, dict):
 if "schema_version" in doc:
     if not doc.get("current"):
         sys.exit(f"bench.sh: {path}: missing or empty 'current' section")
-    if doc.get("bench") in ("host_tput", "fleet_tput", "fleet_clone"):
+    if doc.get("bench") in ("host_tput", "fleet_tput", "fleet_clone",
+                            "fleet_ring"):
         # The throughput benches must record which KVMARM_CHECK modes the
         # run covered ("off,enforce", or "disabled" under the
         # -DKVMARM_INVARIANTS=OFF kill switch).
@@ -65,7 +66,7 @@ EOF
             echo "bench.sh: $file: no schema marker found" >&2
             return 1
         fi
-        if grep -q '"bench": "\(host_tput\|fleet_tput\|fleet_clone\)"' "$file" &&
+        if grep -q '"bench": "\(host_tput\|fleet_tput\|fleet_clone\|fleet_ring\)"' "$file" &&
             ! grep -q '"kvmarm_check"' "$file"; then
             echo "bench.sh: $file: missing 'kvmarm_check' field" >&2
             return 1
@@ -75,7 +76,8 @@ EOF
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target \
-    host_tput fleet_tput fleet_clone table1_state table3_micro table4_loc \
+    host_tput fleet_tput fleet_clone fleet_ring \
+    table1_state table3_micro table4_loc \
     fig3_lmbench_up fig4_lmbench_smp fig5_apps_up fig6_apps_smp \
     fig7_energy ablation_split_mode ablation_vgic ablation_ipi \
     ablation_lazy_fpu >/dev/null
@@ -112,6 +114,13 @@ if [ "$selected" = all ] || [[ " $selected " == *" fleet_clone "* ]]; then
     "$BUILD/bench/fleet_clone" ${REBASE:+--rebaseline} \
         --out BENCH_fleet_clone.json
     validate_json BENCH_fleet_clone.json
+fi
+
+if [ "$selected" = all ] || [[ " $selected " == *" fleet_ring "* ]]; then
+    echo "==== bench: fleet_ring ===="
+    "$BUILD/bench/fleet_ring" ${REBASE:+--rebaseline} \
+        --out BENCH_fleet_ring.json
+    validate_json BENCH_fleet_ring.json
 fi
 
 for b in table1_state table3_micro table4_loc fig3_lmbench_up \

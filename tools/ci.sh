@@ -54,7 +54,7 @@ leg_tsan() {
     cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DKVMARM_SANITIZE=thread
     cmake --build build-ci-tsan -j"$JOBS" \
-        --target fleet_tput fleet_clone fleet_test
+        --target fleet_tput fleet_clone fleet_ring fleet_test
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --test-dir build-ci-tsan --output-on-failure \
         -L sanitize-thread -R '^Fleet'
@@ -71,6 +71,11 @@ leg_tsan() {
     # COW-fault private pages out of one shared snapshot image — the race
     # TSan is here to rule out.
     TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_clone --smoke
+    # fleet_ring --smoke under TSan: communicating VMs park/notify through
+    # the ring-channel mutex and the fleet work queues while exchanging
+    # cycle-stamped messages; the bench's built-in bit-identity gate runs
+    # with race detection live.
+    TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_ring --smoke
 }
 
 leg_enforce() {
@@ -92,10 +97,11 @@ leg_bench() {
     # require its cycle table to match the committed golden output exactly.
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-ci-release -j"$JOBS" \
-        --target host_tput fleet_tput fleet_clone table3_micro
+        --target host_tput fleet_tput fleet_clone fleet_ring table3_micro
     build-ci-release/bench/host_tput --smoke
     build-ci-release/bench/fleet_tput --smoke
     build-ci-release/bench/fleet_clone --smoke
+    build-ci-release/bench/fleet_ring --smoke
     build-ci-release/bench/table3_micro 2>/dev/null | sed -n '/===/,$p' \
         > build-ci-release/table3_micro.out
     diff -u bench/golden/table3_micro.txt build-ci-release/table3_micro.out
@@ -135,7 +141,8 @@ leg_threadsafety() {
         return 0
     fi
     local rc=0
-    for f in src/check/invariants.cc src/sim/logging.cc src/sim/fleet.cc; do
+    for f in src/check/invariants.cc src/sim/logging.cc src/sim/fleet.cc \
+             src/sim/ring_channel.cc; do
         echo "$cxx -Wthread-safety $f"
         "$cxx" -std=c++20 -fsyntax-only -Isrc \
             -Wthread-safety -Werror=thread-safety-analysis "$f" || rc=1
