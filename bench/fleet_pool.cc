@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Fleet pool benchmark: the long-lived worker pool and its live submission
+ * channel under a spawn-heavy load (DESIGN.md §4.11).
+ *
+ * Every root job cold-boots a full-stack VM, quiesces it mid-job, captures
+ * a copy-on-write machine snapshot, and then — from inside its own job
+ * body, while the pool is running — submits a batch of clone jobs through
+ * the live channel before continuing its own workload ("VMs spawning
+ * VMs"). A serial reference executes the identical schedule inline on one
+ * thread with no Fleet at all, then the pool runs it at 1, 2, 4 and 8
+ * workers, and the whole sweep repeats under KVMARM_CHECK=enforce.
+ *
+ * The determinism gate runs on every invocation (exit code 1 on failure):
+ * per-VM workload sim_cycles AND full stat dumps must be bit-identical to
+ * the serial reference for every row — every worker count, unchecked and
+ * enforce. Mid-run submission order, work stealing, and check mode must
+ * all be invisible to simulated time.
+ *
+ * Output: BENCH_fleet_pool.json with the host_tput baseline discipline:
+ * an existing "baseline" section is preserved so speedups track the
+ * committed trajectory; --rebaseline replaces it; --smoke shrinks the
+ * sizes and never writes unless --out is given. host_cpus is recorded
+ * because pool scaling is bounded by the cores actually available;
+ * snapshot_bytes records the serialized snapshot payload each spawned
+ * clone shares (attachments such as the COW page image are referenced,
+ * not copied).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arm/machine.hh"
+#include "check/invariants.hh"
+#include "core/kvm.hh"
+#include "host/kernel.hh"
+#include "sim/fleet.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace kvmarm;
+using arm::ArmCpu;
+using arm::ArmMachine;
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Warmup / workload sizes (shrunk by --smoke). */
+struct Sizes
+{
+    std::uint64_t warmPages = 512; //!< guest pages faulted in pre-snapshot
+    std::uint64_t warmHvc = 1000;
+    std::uint64_t warmMmio = 500;
+    std::uint64_t reads = 10'000; //!< workload base iteration counts
+    std::uint64_t hvcs = 1'000;
+    std::uint64_t mmios = 500;
+    std::uint64_t freshPages = 128;
+
+    void
+    smoke()
+    {
+        warmPages = 64;
+        warmHvc = 100;
+        warmMmio = 50;
+        reads = 1'000;
+        hvcs = 100;
+        mmios = 50;
+        freshPages = 16;
+    }
+};
+
+/** Guest ops one VM's workload performs (for aggregate ops/sec). */
+std::uint64_t
+workloadOps(const Sizes &sz, unsigned index)
+{
+    return (sz.reads + sz.reads / 8 * index) +
+           (sz.hvcs + sz.hvcs / 8 * index) +
+           (sz.mmios + sz.mmios / 8 * index) +
+           (sz.freshPages + sz.freshPages / 8 * index);
+}
+
+/** What one VM's workload leg produced. */
+struct VmOutcome
+{
+    Cycles simCycles = 0; //!< workload leg only
+    std::string statDump; //!< cpu0 + vcpu stats after the workload
+};
+
+/**
+ * One full-stack VM, the proven two-phase clone shape: a boot/warmup leg
+ * that quiesces, then a workload leg. Spawned clones skip the boot leg
+ * and adopt their parent's snapshot.
+ */
+class PoolVm
+{
+  public:
+    explicit PoolVm(const Sizes &sz)
+        : sz_(sz), machine_(makeConfig()), hostk_(machine_), kvm_(hostk_)
+    {
+    }
+
+    ArmMachine &machine() { return machine_; }
+
+    void
+    coldBoot()
+    {
+        machine_.cpu(0).setEntry([this] {
+            ArmCpu &cpu = machine_.cpu(0);
+            hostk_.boot(0);
+            if (!kvm_.initCpu(cpu))
+                fatal("fleet_pool: KVM init failed");
+            buildVmSkeleton();
+            vcpu_->run(cpu, [this](ArmCpu &c) { warmup(c); });
+        });
+        machine_.run();
+    }
+
+    void
+    cloneFrom(const MachineSnapshot &snap)
+    {
+        kvm_.primeForRestore();
+        buildVmSkeleton();
+        machine_.restoreSnapshot(snap);
+    }
+
+    void
+    runWorkload(unsigned index, VmOutcome &out)
+    {
+        machine_.cpu(0).setEntry([this, &out, index] {
+            ArmCpu &cpu = machine_.cpu(0);
+            vcpu_->run(cpu, [this, &out, index](ArmCpu &c) {
+                Cycles sim0 = c.now();
+                workload(c, index);
+                out.simCycles = c.now() - sim0;
+            });
+        });
+        machine_.run();
+
+        std::ostringstream os;
+        machine_.cpu(0).stats().dump(os, "cpu0.");
+        vcpu_->stats.dump(os, "vcpu.");
+        out.statDump = os.str();
+    }
+
+  private:
+    static ArmMachine::Config
+    makeConfig()
+    {
+        ArmMachine::Config mc;
+        mc.numCpus = 1;
+        mc.ramSize = 128 * kMiB;
+        return mc;
+    }
+
+    void
+    buildVmSkeleton()
+    {
+        vm_ = kvm_.createVm(64 * kMiB);
+        vcpu_ = &vm_->addVcpu(0);
+        vm_->addKernelDevice(core::Vm::kKernelTestDevBase, 0x1000,
+                             [](bool, Addr, std::uint64_t, unsigned) {
+                                 return std::uint64_t{0};
+                             });
+    }
+
+    void
+    warmup(ArmCpu &c)
+    {
+        const Addr base = vm_->ramBase();
+        for (std::uint64_t i = 0; i < sz_.warmPages; ++i)
+            c.memWrite(base + Addr(i) * kPageSize,
+                       0xA0000000u + static_cast<std::uint32_t>(i), 4);
+        for (std::uint64_t i = 0; i < sz_.warmHvc; ++i)
+            c.hvc(core::hvc::kTestHypercall);
+        for (std::uint64_t i = 0; i < sz_.warmMmio; ++i)
+            c.memWrite(core::Vm::kKernelTestDevBase,
+                       static_cast<std::uint32_t>(i), 4);
+    }
+
+    /** Index-varied mixed workload (same shape the clone determinism test
+     *  proves snapshot-transparent). */
+    void
+    workload(ArmCpu &c, unsigned index)
+    {
+        const Addr base = vm_->ramBase();
+        for (std::uint64_t i = 0; i < sz_.reads + sz_.reads / 8 * index; ++i)
+            c.memRead(base + ((i & 127) * 8), 4);
+        for (std::uint64_t i = 0; i < sz_.hvcs + sz_.hvcs / 8 * index; ++i)
+            c.hvc(core::hvc::kTestHypercall);
+        for (std::uint64_t i = 0; i < sz_.mmios + sz_.mmios / 8 * index; ++i)
+            c.memWrite(core::Vm::kKernelTestDevBase,
+                       static_cast<std::uint32_t>(i), 4);
+        const Addr fresh = base + 16 * kMiB;
+        const std::uint64_t pages =
+            sz_.freshPages + sz_.freshPages / 8 * index;
+        for (std::uint64_t i = 0; i < pages; ++i)
+            c.memWrite(fresh + Addr(i) * kPageSize,
+                       0xB000 + static_cast<std::uint32_t>(i), 4);
+    }
+
+    const Sizes &sz_;
+    ArmMachine machine_;
+    host::HostKernel hostk_;
+    core::Kvm kvm_;
+    std::unique_ptr<core::Vm> vm_;
+    core::VCpu *vcpu_ = nullptr;
+};
+
+/** One sweep point. */
+struct Result
+{
+    std::string name;   //!< "serial" / "threads_N" plus the mode suffix
+    std::string suffix; //!< "" (unchecked) or "_enforce"
+    unsigned threads = 0;         //!< 0 = serial reference (no Fleet)
+    std::uint64_t iterations = 0; //!< total guest ops across all VMs
+    double wallSeconds = 0;
+    double opsPerSec = 0;
+    std::uint64_t simCycles = 0;   //!< sum of per-VM workload sim cycles
+    std::uint64_t spawned = 0;     //!< jobs submitted from job bodies
+    std::uint64_t snapshotBytes = 0; //!< one root snapshot's payload
+    std::vector<VmOutcome> vms;
+};
+
+/** VM index of root @p r (its clones follow at +1..+clones). */
+std::size_t
+slotBase(unsigned r, unsigned clones)
+{
+    return std::size_t{r} * (1 + clones);
+}
+
+std::uint64_t
+totalOps(const Sizes &sz, unsigned roots, unsigned clones)
+{
+    std::uint64_t ops = 0;
+    for (unsigned r = 0; r < roots; ++r)
+        for (unsigned v = 0; v <= clones; ++v)
+            ops += workloadOps(
+                sz, static_cast<unsigned>(slotBase(r, clones)) + v);
+    return ops;
+}
+
+/** Serial ground truth: the identical schedule, inline, no Fleet. */
+Result
+runSerial(const Sizes &sz, unsigned roots, unsigned clones,
+          const std::string &suffix)
+{
+    Result res;
+    res.suffix = suffix;
+    res.name = "serial" + suffix;
+    res.iterations = totalOps(sz, roots, clones);
+    res.vms.resize(slotBase(roots, clones));
+
+    auto t0 = Clock::now();
+    for (unsigned r = 0; r < roots; ++r) {
+        const std::size_t base = slotBase(r, clones);
+        PoolVm root(sz);
+        root.coldBoot();
+        std::shared_ptr<const MachineSnapshot> snap =
+            root.machine().takeSnapshot();
+        res.snapshotBytes = snap->totalBytes();
+        for (unsigned c = 0; c < clones; ++c) {
+            PoolVm clone(sz);
+            clone.cloneFrom(*snap);
+            clone.runWorkload(static_cast<unsigned>(base) + 1 + c,
+                              res.vms[base + 1 + c]);
+        }
+        root.runWorkload(static_cast<unsigned>(base), res.vms[base]);
+    }
+    res.wallSeconds = seconds(t0, Clock::now());
+    res.opsPerSec =
+        res.wallSeconds > 0 ? double(res.iterations) / res.wallSeconds : 0;
+    for (const VmOutcome &o : res.vms)
+        res.simCycles += o.simCycles;
+    return res;
+}
+
+/** The pool run: roots arrive through the live channel and spawn their
+ *  clone jobs from inside their own bodies, mid-run. */
+Result
+runPool(const Sizes &sz, unsigned roots, unsigned clones, unsigned threads,
+        const std::string &suffix)
+{
+    Result res;
+    res.suffix = suffix;
+    res.threads = threads;
+    res.name = "threads_" + std::to_string(threads) + suffix;
+    res.iterations = totalOps(sz, roots, clones);
+    res.vms.resize(slotBase(roots, clones));
+    std::vector<std::uint64_t> snapBytes(roots, 0);
+
+    Fleet fleet(threads);
+    fleet.start();
+    auto t0 = Clock::now();
+    for (unsigned r = 0; r < roots; ++r) {
+        const std::size_t base = slotBase(r, clones);
+        const std::string name = "root" + std::to_string(r);
+        fleet.submit(name, [&, r, base, name] {
+            PoolVm root(sz);
+            root.coldBoot();
+            std::shared_ptr<const MachineSnapshot> snap =
+                root.machine().takeSnapshot();
+            snapBytes[r] = snap->totalBytes();
+            for (unsigned c = 0; c < clones; ++c) {
+                const std::size_t slot = base + 1 + c;
+                fleet.submit(name + "-clone" + std::to_string(c),
+                             [&, snap, slot] {
+                                 PoolVm clone(sz);
+                                 clone.cloneFrom(*snap);
+                                 clone.runWorkload(
+                                     static_cast<unsigned>(slot),
+                                     res.vms[slot]);
+                             });
+            }
+            root.runWorkload(static_cast<unsigned>(base), res.vms[base]);
+        });
+    }
+    std::vector<Fleet::JobResult> jobs = fleet.shutdown();
+    res.wallSeconds = seconds(t0, Clock::now());
+
+    for (const Fleet::JobResult &j : jobs) {
+        if (!j.ok)
+            fatal("fleet_pool: job %s failed: %s", j.name.c_str(),
+                  j.error.c_str());
+    }
+    if (jobs.size() != res.vms.size())
+        fatal("fleet_pool: expected %zu job results, got %zu",
+              res.vms.size(), jobs.size());
+    res.spawned = fleet.stats().jobsSpawned;
+    if (res.spawned != std::uint64_t{roots} * clones)
+        fatal("fleet_pool: expected %llu spawned jobs, counted %llu",
+              static_cast<unsigned long long>(std::uint64_t{roots} * clones),
+              static_cast<unsigned long long>(res.spawned));
+    res.snapshotBytes = snapBytes[0];
+    res.opsPerSec =
+        res.wallSeconds > 0 ? double(res.iterations) / res.wallSeconds : 0;
+    for (const VmOutcome &o : res.vms)
+        res.simCycles += o.simCycles;
+    return res;
+}
+
+void
+runSweep(const Sizes &sz, unsigned roots, unsigned clones,
+         const std::string &suffix, std::vector<Result> &out)
+{
+    out.push_back(runSerial(sz, roots, clones, suffix));
+    for (unsigned t : {1u, 2u, 4u, 8u})
+        out.push_back(runPool(sz, roots, clones, t, suffix));
+}
+
+/** Recover the "baseline" section of a previously emitted JSON file (the
+ *  exact format emitted below — not a general JSON parser). */
+std::map<std::string, Result>
+readBaseline(const std::string &path)
+{
+    std::map<std::string, Result> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::size_t sec = text.find("\"baseline\"");
+    if (sec == std::string::npos)
+        return out;
+    std::size_t open = text.find('{', sec);
+    if (open == std::string::npos)
+        return out;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < text.size(); ++close) {
+        if (text[close] == '{')
+            ++depth;
+        else if (text[close] == '}' && --depth == 0)
+            break;
+    }
+    const std::string section = text.substr(open, close - open + 1);
+
+    std::size_t pos = 1;
+    while (true) {
+        std::size_t q0 = section.find('"', pos);
+        if (q0 == std::string::npos)
+            break;
+        std::size_t q1 = section.find('"', q0 + 1);
+        if (q1 == std::string::npos)
+            break;
+        Result r;
+        r.name = section.substr(q0 + 1, q1 - q0 - 1);
+        std::size_t obj = section.find('{', q1);
+        std::size_t end = section.find('}', obj);
+        if (obj == std::string::npos || end == std::string::npos)
+            break;
+        const std::string fields = section.substr(obj, end - obj);
+        auto num = [&](const char *key, double &v) {
+            std::size_t k = fields.find(key);
+            if (k != std::string::npos)
+                v = std::strtod(
+                    fields.c_str() + fields.find(':', k) + 1, nullptr);
+        };
+        double iters = 0, wall = 0, ops = 0, cycles = 0;
+        num("\"iterations\"", iters);
+        num("\"wall_seconds\"", wall);
+        num("\"ops_per_sec\"", ops);
+        num("\"sim_cycles\"", cycles);
+        r.iterations = static_cast<std::uint64_t>(iters);
+        r.wallSeconds = wall;
+        r.opsPerSec = ops;
+        r.simCycles = static_cast<std::uint64_t>(cycles);
+        out[r.name] = r;
+        pos = end + 1;
+    }
+    return out;
+}
+
+void
+writeSection(std::FILE *f, const char *name, const std::vector<Result> &rows)
+{
+    std::fprintf(f, "  \"%s\": {\n", name);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Result &r = rows[i];
+        std::fprintf(f,
+                     "    \"%s\": { \"iterations\": %llu, "
+                     "\"wall_seconds\": %.6f, \"ops_per_sec\": %.1f, "
+                     "\"sim_cycles\": %llu }%s\n",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.iterations),
+                     r.wallSeconds, r.opsPerSec,
+                     static_cast<unsigned long long>(r.simCycles),
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+}
+
+const Result *
+findRow(const std::vector<Result> &rows, const std::string &name)
+{
+    for (const Result &r : rows)
+        if (r.name == name)
+            return &r;
+    return nullptr;
+}
+
+void
+writeJson(const std::string &path, unsigned roots, unsigned clones,
+          const std::vector<Result> &current,
+          const std::vector<Result> &baseline, bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("fleet_pool: cannot write %s", path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fleet_pool\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+#if KVMARM_INVARIANTS_ENABLED
+    std::fprintf(f, "  \"kvmarm_check\": \"off,enforce\",\n");
+#else
+    std::fprintf(f, "  \"kvmarm_check\": \"disabled\",\n");
+#endif
+    std::fprintf(f, "  \"fleet_roots\": %u,\n", roots);
+    std::fprintf(f, "  \"clones_per_root\": %u,\n", clones);
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"deterministic\": true,\n");
+    std::fprintf(f, "  \"snapshot_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     current.front().snapshotBytes));
+    std::fprintf(f, "  \"vm_sim_cycles\": [");
+    for (std::size_t i = 0; i < current.front().vms.size(); ++i) {
+        std::fprintf(f, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(
+                         current.front().vms[i].simCycles));
+    }
+    std::fprintf(f, "],\n");
+    writeSection(f, "baseline", baseline);
+    writeSection(f, "current", current);
+    // Headline ratios: pool scaling over the single-worker pool run.
+    std::fprintf(f, "  \"pool_speedup\": {\n");
+    bool first = true;
+    for (const Result &r : current) {
+        if (r.threads == 0)
+            continue;
+        const Result *one = findRow(current, "threads_1" + r.suffix);
+        double sp = (one && r.wallSeconds > 0)
+                        ? one->wallSeconds / r.wallSeconds
+                        : 0;
+        std::fprintf(f, "%s    \"%s\": %.2f", first ? "" : ",\n",
+                     r.name.c_str(), sp);
+        first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+}
+
+/**
+ * The bit-identity gate: every VM's workload sim_cycles and stat dump must
+ * match the unchecked serial reference in EVERY row — every worker count
+ * and both check modes. Scheduling and checking are invisible to
+ * simulated time.
+ */
+bool
+checkBitIdentity(const std::vector<Result> &current)
+{
+    const Result *ref = findRow(current, "serial");
+    if (!ref) {
+        std::fprintf(stderr, "fleet_pool: missing serial reference row\n");
+        return false;
+    }
+    bool ok = true;
+    for (const Result &r : current) {
+        if (&r == ref)
+            continue;
+        for (std::size_t v = 0; v < r.vms.size(); ++v) {
+            if (r.vms[v].simCycles != ref->vms[v].simCycles) {
+                std::fprintf(stderr,
+                             "fleet_pool: DETERMINISM VIOLATION: vm%zu "
+                             "sim_cycles %llu at %s vs %llu at serial\n",
+                             v,
+                             static_cast<unsigned long long>(
+                                 r.vms[v].simCycles),
+                             r.name.c_str(),
+                             static_cast<unsigned long long>(
+                                 ref->vms[v].simCycles));
+                ok = false;
+            }
+            if (r.vms[v].statDump != ref->vms[v].statDump) {
+                std::fprintf(stderr,
+                             "fleet_pool: STAT DIVERGENCE: vm%zu stat dump "
+                             "at %s differs from serial\n",
+                             v, r.name.c_str());
+                ok = false;
+            }
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool rebaseline = false;
+    unsigned roots = 3;
+    unsigned clones = 4;
+    std::string out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--rebaseline") == 0) {
+            rebaseline = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else if (std::strcmp(argv[i], "--roots") == 0 && i + 1 < argc) {
+            roots = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--clones") == 0 && i + 1 < argc) {
+            clones = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: fleet_pool [--smoke] [--rebaseline] "
+                         "[--roots N] [--clones N] [--out file.json]\n");
+            return 2;
+        }
+    }
+    if (out.empty() && !smoke)
+        out = "BENCH_fleet_pool.json";
+    if (roots == 0)
+        roots = 1;
+
+    setInformEnabled(false);
+    Sizes sz;
+    if (smoke)
+        sz.smoke();
+
+    std::vector<Result> current;
+    runSweep(sz, roots, clones, "", current);
+
+#if KVMARM_INVARIANTS_ENABLED
+    {
+        // Same schedule, every machine's private engine in enforce mode;
+        // the scope wraps snapshot creation too, so every spawned clone
+        // replays its protection history into a checked engine.
+        check::ScopedCheckMode enforce(check::CheckMode::Enforce);
+        runSweep(sz, roots, clones, "_enforce", current);
+    }
+#endif
+
+    std::printf("\n=== Fleet pool (%u roots x %u spawned clones, "
+                "host_cpus=%u, snapshot %llu bytes) ===\n",
+                roots, clones, std::thread::hardware_concurrency(),
+                static_cast<unsigned long long>(
+                    current.front().snapshotBytes));
+    std::printf("%-18s %10s %14s %10s %10s\n", "sweep point", "wall[s]",
+                "agg ops/sec", "spawned", "speedup");
+    for (const Result &r : current) {
+        double sp = 0;
+        if (r.threads != 0) {
+            const Result *one = findRow(current, "threads_1" + r.suffix);
+            if (one && r.wallSeconds > 0)
+                sp = one->wallSeconds / r.wallSeconds;
+        }
+        std::printf("%-18s %10.3f %14.0f %10llu %9.2fx\n", r.name.c_str(),
+                    r.wallSeconds, r.opsPerSec,
+                    static_cast<unsigned long long>(r.spawned), sp);
+    }
+
+    if (!checkBitIdentity(current))
+        return 1;
+    std::printf("per-VM sim_cycles and stat dumps bit-identical: serial == "
+                "pool at 1/2/4/8 workers, unchecked == enforce, with every "
+                "clone spawned mid-run through the live channel\n");
+
+    if (!out.empty()) {
+        std::map<std::string, Result> prior = readBaseline(out);
+        std::vector<Result> baseline;
+        for (const Result &r : current) {
+            auto itb = prior.find(r.name);
+            baseline.push_back(
+                (!rebaseline && itb != prior.end()) ? itb->second : r);
+        }
+        writeJson(out, roots, clones, current, baseline, smoke);
+        std::printf("\nwrote %s\n", out.c_str());
+    }
+    return 0;
+}

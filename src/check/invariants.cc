@@ -35,6 +35,29 @@ std::vector<InvariantEngine *> gRegistry KVMARM_GUARDED_BY(gRegistryMutex);
  *  once (facade construction) before any concurrent reader exists. */
 std::atomic<InvariantEngine *> gFacade{nullptr};
 
+/** Published violations of engines that have died (a fleet job's machine
+ *  retires its engine with it); folded into every epoch sample so
+ *  completed jobs keep counting. Atomic because engine destructors run on
+ *  fleet worker threads while the facade samples. */
+std::atomic<std::uint64_t> gRetiredViolations{0};
+
+/** Epoch window bookkeeping (facade beginEpoch()/aggregateEpoch()). */
+std::uint64_t gEpochId KVMARM_GUARDED_BY(gRegistryMutex) = 0;
+std::uint64_t gEpochBaseline KVMARM_GUARDED_BY(gRegistryMutex) = 0;
+
+/** Sum of published violation counters across the live registry plus the
+ *  retired accumulator. Reads only atomics — never a machine engine's
+ *  violation log — so it is safe while machines run. */
+std::uint64_t
+samplePublished() KVMARM_REQUIRES(gRegistryMutex)
+{
+    std::uint64_t total =
+        gRetiredViolations.load(std::memory_order_acquire);
+    for (const InvariantEngine *eng : gRegistry)
+        total += eng->publishedCount();
+    return total;
+}
+
 #if KVMARM_INVARIANTS_ENABLED
 InvariantEngine *
 createMachineEngine()
@@ -51,6 +74,12 @@ destroyMachineEngine(InvariantEngine *eng)
     delete eng;
 }
 
+void
+publishMachineEngine(InvariantEngine *eng)
+{
+    eng->publishEpoch();
+}
+
 /** Hand MachineBase the means to create per-machine engines, and make
  *  sure the facade exists (and has read KVMARM_CHECK) before any hook
  *  site consults the gActive gate. Gated on the compile-time kill
@@ -59,7 +88,8 @@ destroyMachineEngine(InvariantEngine *eng)
 const bool gEagerInit =
     (InvariantEngine::instance(),
      MachineBase::registerCheckEngineFactory(createMachineEngine,
-                                             destroyMachineEngine),
+                                             destroyMachineEngine,
+                                             publishMachineEngine),
      true);
 #endif
 
@@ -140,6 +170,13 @@ InvariantEngine::~InvariantEngine()
     MutexLock lock(gRegistryMutex);
     gRegistry.erase(std::remove(gRegistry.begin(), gRegistry.end(), this),
                     gRegistry.end());
+    // Retire the *live* count (>= published): a dying machine is quiesced
+    // by definition, so the final value is exact and the epoch sample
+    // stays monotonic — the engine's contribution only ever grows when it
+    // switches from the registry term to the retired term.
+    gRetiredViolations.fetch_add(
+        liveViolations_.load(std::memory_order_relaxed),
+        std::memory_order_acq_rel);
     InvariantEngine *self = this;
     gFacade.compare_exchange_strong(self, nullptr,
                                     std::memory_order_relaxed);
@@ -208,14 +245,23 @@ InvariantEngine::reset()
             OptionalLock elock(*eng);
             eng->violations_.clear();
             eng->events_ = 0;
+            eng->liveViolations_.store(0, std::memory_order_relaxed);
+            eng->publishedViolations_.store(0, std::memory_order_relaxed);
             for (auto &rule : eng->rules_)
                 rule->reset();
         }
+        // A facade reset starts the world over: drop retired history and
+        // any open epoch window (quiesced-only, like the rest of reset).
+        gRetiredViolations.store(0, std::memory_order_release);
+        gEpochId = 0;
+        gEpochBaseline = 0;
         return;
     }
     OptionalLock lock(*this);
     violations_.clear();
     events_ = 0;
+    liveViolations_.store(0, std::memory_order_relaxed);
+    publishedViolations_.store(0, std::memory_order_relaxed);
     for (auto &rule : rules_)
         rule->reset();
 }
@@ -257,10 +303,55 @@ InvariantEngine::violationCount(const std::string &rule) const
 }
 
 void
+InvariantEngine::publishEpoch()
+{
+    // Release pairs with the acquire in publishedCount(): a sampler that
+    // sees the new published value also sees everything the machine did
+    // before its quiesce boundary.
+    publishedViolations_.store(liveViolations_.load(std::memory_order_relaxed),
+                               std::memory_order_release);
+}
+
+std::uint64_t
+InvariantEngine::publishedCount() const
+{
+    if (isFacade())
+        return liveViolations_.load(std::memory_order_acquire);
+    return publishedViolations_.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+InvariantEngine::beginEpoch()
+{
+    if (!isFacade())
+        fatal("InvariantEngine::beginEpoch: epochs are a facade protocol — "
+              "call it on check::engine(), not a machine engine");
+    MutexLock lock(gRegistryMutex);
+    gEpochBaseline = samplePublished();
+    return ++gEpochId;
+}
+
+EpochReport
+InvariantEngine::aggregateEpoch() const
+{
+    if (!isFacade())
+        fatal("InvariantEngine::aggregateEpoch: epochs are a facade "
+              "protocol — call it on check::engine(), not a machine "
+              "engine");
+    MutexLock lock(gRegistryMutex);
+    EpochReport rep;
+    rep.epoch = gEpochId;
+    rep.violations = samplePublished() - gEpochBaseline;
+    rep.engines = gRegistry.size();
+    return rep;
+}
+
+void
 InvariantEngine::report(const InvariantRule &rule, std::string detail)
 {
     OptionalLock lock(*this);
     violations_.push_back(Violation{rule.name(), std::move(detail)});
+    liveViolations_.fetch_add(1, std::memory_order_relaxed);
     const Violation &v = violations_.back();
     if (mode() == CheckMode::Enforce) {
         fatal("invariant violation [%s]: %s", v.rule.c_str(),

@@ -115,6 +115,15 @@ struct Violation
     std::string detail; //!< human-readable diagnosis
 };
 
+/** Result of one live aggregation window (facade beginEpoch() /
+ *  aggregateEpoch(), DESIGN.md §4.11). */
+struct EpochReport
+{
+    std::uint64_t epoch = 0;    //!< id returned by the pairing beginEpoch()
+    std::uint64_t violations = 0; //!< published violations since beginEpoch()
+    std::size_t engines = 0;    //!< live engines sampled
+};
+
 /// @name Event payloads delivered to rules
 /// @{
 
@@ -332,6 +341,44 @@ class InvariantEngine
     std::uint64_t eventCount() const { return events_; }
     /// @}
 
+    /// @name Epoch protocol (live aggregation without stop-the-world)
+    ///
+    /// Exact violationCount() aggregation walks machine-engine violation
+    /// logs and is therefore quiesced-only. The epoch protocol is the live
+    /// path: every report() bumps the engine's atomic *live* counter, and
+    /// each machine *publishes* (live → published, a lock-free store on
+    /// the machine's own thread) at its quiesce boundaries — every
+    /// MachineBase::run() exit and snapshot restore. The facade samples
+    /// published counters only, so aggregation never reads state a machine
+    /// thread is mutating and no machine ever stops for it. An engine that
+    /// dies retires its live count into a process accumulator so completed
+    /// fleet jobs keep counting. The sampled total is monotonic: published
+    /// never exceeds live, and retirement only converts published values
+    /// into (larger-or-equal) live ones.
+    /// @{
+
+    /** Snapshot this engine's live violation counter into its published
+     *  counter. Lock-free; called on the owning machine's thread at a
+     *  quiesce boundary (MachineBase::publishCheckEpoch routes here). On
+     *  the facade the live counter is always considered published, so
+     *  this is only meaningful for machine engines. */
+    void publishEpoch();
+
+    /** Facade only: open an aggregation window — record the current
+     *  published total as the baseline and return the new epoch id. */
+    std::uint64_t beginEpoch();
+
+    /** Facade only: sample the published total (no stop-the-world; safe
+     *  while machines run) and report the delta since beginEpoch(). With
+     *  no beginEpoch() yet, the delta is since process start. */
+    EpochReport aggregateEpoch() const;
+
+    /** This engine's published violation counter. The facade's live
+     *  counter counts as published (its log is mutex-fed, not machine-
+     *  thread-local, so there is no quiesce boundary to wait for). */
+    std::uint64_t publishedCount() const;
+    /// @}
+
     /** Record a violation (called by rules). Log mode warns; Enforce mode
      *  throws FatalError after recording. */
     void report(const InvariantRule &rule, std::string detail);
@@ -404,6 +451,11 @@ class InvariantEngine
     std::vector<std::unique_ptr<InvariantRule>> rules_;
     std::vector<Violation> violations_;
     std::uint64_t events_ = 0;
+    /** Epoch protocol counters: live is bumped by every report();
+     *  published is the copy visible to lock-free facade aggregation,
+     *  refreshed by publishEpoch() at machine quiesce boundaries. */
+    std::atomic<std::uint64_t> liveViolations_{0};
+    std::atomic<std::uint64_t> publishedViolations_{0};
 };
 
 /** Shorthand for the facade singleton. */

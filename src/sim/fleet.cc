@@ -1,5 +1,6 @@
 #include "sim/fleet.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <thread>
@@ -8,6 +9,27 @@
 
 namespace kvmarm {
 
+namespace {
+
+// Deterministic job ids are an FNV-1a chain over the (submitter-id,
+// submission-seq) key: a job's id hashes its submitter's id with its seq,
+// so the id of any job — however deep the spawn tree — is a pure function
+// of the submission key path and identical at any worker count.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnvChain(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
 Fleet::Fleet(unsigned threads) : threads_(threads)
 {
     if (threads_ == 0) {
@@ -15,6 +37,25 @@ Fleet::Fleet(unsigned threads) : threads_(threads)
         if (threads_ == 0)
             threads_ = 1;
     }
+    // The Worker structs (deques + identity) exist for the Fleet's whole
+    // life so submissions can be dealt to their home deque before the
+    // worker threads are spawned; start()/retireWorkers() only manage the
+    // threads.
+    workers_.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w)
+        workers_.push_back(std::make_unique<Worker>());
+}
+
+Fleet::~Fleet()
+{
+    if (!workersLive_.load(std::memory_order_acquire))
+        return;
+    {
+        CondLock lock(schedMutex_);
+        drainLocked(lock); // results discarded; parked jobs are failed
+        shutdown_ = true;
+    }
+    retireWorkers();
 }
 
 std::size_t
@@ -32,16 +73,101 @@ Fleet::add(std::string name, JobFn fn)
 std::size_t
 Fleet::addResumable(std::string name, StepFn fn)
 {
-    if (running_.load(std::memory_order_relaxed)) {
+    if (workersLive_.load(std::memory_order_acquire)) {
         fatal("Fleet::add: job '%s' submitted while run() is in progress — "
-              "queue all jobs before run(), or use a second Fleet",
+              "queue all jobs before run(), or submit() through the live "
+              "channel",
               name.c_str());
     }
     if (!fn)
         fatal("Fleet::add: job '%s' has no body", name.c_str());
-    std::size_t index = pending_.size();
-    pending_.push_back(Job{std::move(name), std::move(fn), index, 0});
-    return index;
+    CondLock lock(schedMutex_);
+    return submitLocked(std::move(name), std::move(fn));
+}
+
+std::size_t
+Fleet::submit(std::string name, JobFn fn)
+{
+    if (!fn)
+        fatal("Fleet::submit: job '%s' has no body", name.c_str());
+    return submitResumable(std::move(name),
+                           [f = std::move(fn)]() -> StepOutcome {
+                               f();
+                               return StepOutcome::Done;
+                           });
+}
+
+std::size_t
+Fleet::submitResumable(std::string name, StepFn fn)
+{
+    if (!fn)
+        fatal("Fleet::submit: job '%s' has no body", name.c_str());
+    CondLock lock(schedMutex_);
+    return submitLocked(std::move(name), std::move(fn));
+}
+
+std::size_t
+Fleet::submitLocked(std::string name, StepFn fn)
+{
+    if (shutdown_) {
+        fatal("Fleet::submit: job '%s' submitted after shutdown() — the "
+              "submission channel is closed; create a new Fleet",
+              name.c_str());
+    }
+
+    // Resolve the submitter: a submission from a worker thread that is
+    // inside a job body is a spawn stamped with that job's id; anything
+    // else (the owner thread, before start() or mid-run) is external.
+    // Worker tids are recorded under schedMutex_ by each worker before it
+    // pops any job, so by the time a job body can call submit() its own
+    // worker's tid is visible here.
+    std::size_t parentSlot = kNoSlot;
+    const auto self = std::this_thread::get_id();
+    for (const auto &wp : workers_) {
+        if (wp->tid == self && wp->currentSlot != kNoSlot) {
+            parentSlot = wp->currentSlot;
+            break;
+        }
+    }
+
+    JobMeta meta;
+    unsigned home = 0;
+    if (parentSlot != kNoSlot) {
+        JobMeta &pm = meta_[parentSlot];
+        meta.submitter = pm.id;
+        meta.seq = pm.childSeq++;
+        meta.id = fnvChain(pm.id, meta.seq);
+        meta.path = pm.path;
+        meta.path.push_back(meta.seq);
+        // Spawn arrival order races across workers; the id does not.
+        home = static_cast<unsigned>(meta.id % threads_);
+    } else {
+        meta.submitter = kExternalSubmitter;
+        meta.seq = externalSeq_++;
+        meta.id = fnvChain(kFnvOffset, meta.seq);
+        meta.path = {meta.seq};
+        // Round-robin deal, matching the historical batch behavior.
+        home = static_cast<unsigned>(meta.seq % threads_);
+    }
+
+    std::size_t slot = state_.size();
+    state_.push_back(JobState::Queued);
+    parked_.emplace_back();
+    JobResult res;
+    res.name = name;
+    res.submitter = meta.submitter;
+    res.seq = meta.seq;
+    results_.push_back(std::move(res));
+    meta_.push_back(std::move(meta));
+    ++unfinished_;
+    enqueue(Job{std::move(name), std::move(fn), slot, home});
+    cvWork_.notify_one();
+
+    if (parentSlot != kNoSlot) {
+        MutexLock stats(statsMutex_);
+        ++stats_.jobsSpawned;
+    }
+    return slot;
 }
 
 bool
@@ -87,7 +213,7 @@ Fleet::enqueue(Job job)
 void
 Fleet::notify(std::size_t index)
 {
-    if (!running_.load(std::memory_order_acquire))
+    if (!workersLive_.load(std::memory_order_acquire))
         return;
     CondLock lock(schedMutex_);
     if (index >= state_.size())
@@ -96,7 +222,7 @@ Fleet::notify(std::size_t index)
       case JobState::Parked:
         state_[index] = JobState::Queued;
         enqueue(std::move(parked_[index]));
-        cv_.notify_one();
+        cvWork_.notify_one();
         break;
       case JobState::Running:
         // Mid-step wake: latch it so a Blocked return re-queues instead
@@ -111,8 +237,39 @@ Fleet::notify(std::size_t index)
 }
 
 void
-Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
+Fleet::failDeadlockedParked()
 {
+    // Only meaningful mid-drain: the owner has declared the channel idle,
+    // so a parked job with no queued or running peer left has no possible
+    // waker (wakes come from running jobs or from an owner that is now
+    // blocked in drain()). Between drains a fully parked fleet is simply
+    // waiting for future submissions or an external notify() and is left
+    // alone.
+    if (!draining_ || idleWorkers_ != threads_ || queuedCount_ != 0 ||
+        runningCount_ != 0 || unfinished_ == 0) {
+        return;
+    }
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        if (state_[i] != JobState::Parked)
+            continue;
+        results_[i].ok = false;
+        results_[i].error =
+            "fleet rendezvous deadlock: job parked with no "
+            "runnable peer left to wake it";
+        state_[i] = JobState::Finished;
+        parked_[i] = Job{};
+        --unfinished_;
+    }
+    cvDone_.notify_all();
+}
+
+void
+Fleet::workerMain(unsigned w)
+{
+    {
+        CondLock lock(schedMutex_);
+        workers_[w]->tid = std::this_thread::get_id();
+    }
     while (true) {
         Job job;
         bool stolen = false;
@@ -123,52 +280,35 @@ Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
         }
         if (!got) {
             CondLock lock(schedMutex_);
-            if (unfinished_ == 0)
-                return;
             ++idleWorkers_;
-            if (idleWorkers_ == threads_ && queuedCount_ == 0 &&
-                runningCount_ == 0) {
-                // Every worker is idle, nothing is queued or running, yet
-                // jobs remain: they are all parked, and wakes only come
-                // from running jobs. Fail them rather than hang.
-                for (std::size_t i = 0; i < state_.size(); ++i) {
-                    if (state_[i] != JobState::Parked)
-                        continue;
-                    results[i].ok = false;
-                    results[i].error =
-                        "fleet rendezvous deadlock: job parked with no "
-                        "runnable peer left to wake it";
-                    state_[i] = JobState::Finished;
-                    parked_[i] = Job{};
-                    --unfinished_;
-                }
-                --idleWorkers_;
-                cv_.notify_all();
-                return;
-            }
-            while (unfinished_ != 0 && queuedCount_ == 0)
-                cv_.wait(lock.native());
+            // If this was the last worker to go idle during a drain, any
+            // survivors are unwakeable parked jobs — fail them so the
+            // drain completes instead of hanging.
+            failDeadlockedParked();
+            while (!stopping_ && queuedCount_ == 0)
+                cvWork_.wait(lock.native());
             --idleWorkers_;
-            if (unfinished_ == 0)
+            if (stopping_ && queuedCount_ == 0)
                 return;
             continue;
         }
 
-        std::size_t idx = job.index;
+        std::size_t slot = job.slot;
+        JobResult *res = nullptr;
         {
             CondLock lock(schedMutex_);
             // Parked->Queued and the deal both count the job as queued;
             // it is now running.
             --queuedCount_;
             ++runningCount_;
-            state_[idx] = JobState::Running;
+            state_[slot] = JobState::Running;
+            workers_[w]->currentSlot = slot;
+            res = &results_[slot];
         }
 
-        JobResult &res = results[idx];
-        res.name = job.name;
-        res.worker = w;
-        res.stolen |= stolen;
-        ++res.steps;
+        res->worker = w;
+        res->stolen |= stolen;
+        ++res->steps;
 
         // domlint: allow(wall-clock) — measurement only, never feeds sim state
         auto t0 = std::chrono::steady_clock::now();
@@ -177,37 +317,38 @@ Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
         try {
             out = job.fn();
             if (out == StepOutcome::Done)
-                res.ok = true;
+                res->ok = true;
         } catch (const std::exception &e) {
-            res.error = e.what();
+            res->error = e.what();
             failed = true;
         } catch (...) {
-            res.error = "unknown exception";
+            res->error = "unknown exception";
             failed = true;
         }
         // domlint: allow(wall-clock) — measurement only, never feeds sim state
         auto t1 = std::chrono::steady_clock::now();
-        res.wallSeconds += std::chrono::duration<double>(t1 - t0).count();
+        res->wallSeconds += std::chrono::duration<double>(t1 - t0).count();
 
         bool finished = failed || out == StepOutcome::Done;
         bool parkedNow = false;
         {
             CondLock lock(schedMutex_);
             --runningCount_;
+            workers_[w]->currentSlot = kNoSlot;
             if (finished) {
-                state_[idx] = JobState::Finished;
+                state_[slot] = JobState::Finished;
                 --unfinished_;
                 if (unfinished_ == 0)
-                    cv_.notify_all();
-            } else if (state_[idx] == JobState::Woken) {
+                    cvDone_.notify_all();
+            } else if (state_[slot] == JobState::Woken) {
                 // notify() landed while the step ran; go straight back to
                 // the queue.
-                state_[idx] = JobState::Queued;
+                state_[slot] = JobState::Queued;
                 enqueue(std::move(job));
-                cv_.notify_one();
+                cvWork_.notify_one();
             } else {
-                state_[idx] = JobState::Parked;
-                parked_[idx] = std::move(job);
+                state_[slot] = JobState::Parked;
+                parked_[slot] = std::move(job);
                 parkedNow = true;
             }
         }
@@ -221,56 +362,155 @@ Fleet::workerMain(unsigned w, std::vector<JobResult> &results)
     }
 }
 
-std::vector<Fleet::JobResult>
-Fleet::run()
+void
+Fleet::startLocked()
 {
-    std::vector<JobResult> results(pending_.size());
+    if (shutdown_)
+        fatal("Fleet::start: the pool was shut down — create a new Fleet");
+    if (workersLive_.load(std::memory_order_acquire))
+        fatal("Fleet::start: the worker pool is already live");
+    stopping_ = false;
+    draining_ = false;
+    idleWorkers_ = 0;
+    runningCount_ = 0;
+    for (auto &wp : workers_) {
+        wp->tid = std::thread::id{};
+        wp->currentSlot = kNoSlot;
+    }
+    workersLive_.store(true, std::memory_order_release);
+}
+
+void
+Fleet::start()
+{
     {
         MutexLock lock(statsMutex_);
         stats_ = Stats{};
     }
-    if (pending_.empty())
-        return results;
-
-    // Deal jobs round-robin. Every job is queued before any worker starts;
-    // parked resumable jobs are re-dealt to their home deque by notify().
-    // No worker is live yet, so the per-deal locks below are uncontended;
-    // they exist to keep the deques' guarded_by contract exact for the
-    // thread-safety analysis.
-    workers_.clear();
-    for (unsigned w = 0; w < threads_; ++w)
-        workers_.push_back(std::make_unique<Worker>());
     {
         CondLock lock(schedMutex_);
-        state_.assign(pending_.size(), JobState::Queued);
-        parked_.clear();
-        parked_.resize(pending_.size());
-        unfinished_ = pending_.size();
-        queuedCount_ = 0;
-        runningCount_ = 0;
-        idleWorkers_ = 0;
-        for (Job &job : pending_) {
-            job.home = static_cast<unsigned>(job.index % threads_);
-            enqueue(std::move(job));
-        }
+        startLocked();
     }
-    pending_.clear();
-
-    running_.store(true, std::memory_order_release);
-    std::vector<std::thread> pool;
-    pool.reserve(threads_);
+    pool_.reserve(threads_);
     for (unsigned w = 0; w < threads_; ++w)
-        pool.emplace_back([this, w, &results] { workerMain(w, results); });
-    for (std::thread &t : pool)
+        pool_.emplace_back([this, w] { workerMain(w); });
+}
+
+std::vector<Fleet::JobResult>
+Fleet::collectEpoch()
+{
+    // Deterministic result order: lexicographic on the submission key
+    // path, so external jobs come out in submission order and a parent's
+    // spawns sort directly after the parent in spawn order — never in
+    // completion or arrival order.
+    std::vector<std::pair<const std::vector<std::uint64_t> *, std::size_t>>
+        order;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        if (state_[i] == JobState::Finished && !meta_[i].returned)
+            order.emplace_back(&meta_[i].path, i);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) { return *a.first < *b.first; });
+    std::vector<JobResult> out;
+    out.reserve(order.size());
+    for (const auto &entry : order) {
+        std::size_t slot = entry.second;
+        meta_[slot].returned = true;
+        out.push_back(std::move(results_[slot]));
+    }
+    return out;
+}
+
+std::vector<Fleet::JobResult>
+Fleet::drainLocked(CondLock &lock)
+{
+    if (draining_)
+        fatal("Fleet::drain: a drain is already in progress");
+    const auto self = std::this_thread::get_id();
+    for (const auto &wp : workers_) {
+        if (wp->tid == self && wp->currentSlot != kNoSlot)
+            fatal("Fleet::drain: called from inside a job body — only the "
+                  "pool owner may quiesce the fleet");
+    }
+    draining_ = true;
+    failDeadlockedParked(); // every worker may already be asleep
+    while (unfinished_ != 0) {
+        cvDone_.wait(lock.native());
+        failDeadlockedParked();
+    }
+    draining_ = false;
+    auto out = collectEpoch();
+    epochsDone_.fetch_add(1, std::memory_order_release);
+    {
+        MutexLock stats(statsMutex_);
+        ++stats_.epochs;
+    }
+    return out;
+}
+
+std::vector<Fleet::JobResult>
+Fleet::drain()
+{
+    CondLock lock(schedMutex_);
+    if (!workersLive_.load(std::memory_order_acquire))
+        fatal("Fleet::drain: the worker pool is not live — start() it "
+              "first");
+    return drainLocked(lock);
+}
+
+std::vector<Fleet::JobResult>
+Fleet::shutdown()
+{
+    std::vector<JobResult> out;
+    {
+        CondLock lock(schedMutex_);
+        if (shutdown_)
+            fatal("Fleet::shutdown: the pool was already shut down");
+        if (!workersLive_.load(std::memory_order_acquire))
+            fatal("Fleet::shutdown: the worker pool is not live — start() "
+                  "it first");
+        out = drainLocked(lock);
+        shutdown_ = true;
+    }
+    retireWorkers();
+    return out;
+}
+
+void
+Fleet::retireWorkers()
+{
+    {
+        CondLock lock(schedMutex_);
+        stopping_ = true;
+        cvWork_.notify_all();
+    }
+    for (std::thread &t : pool_)
         t.join();
-    running_.store(false, std::memory_order_release);
-
-    {
-        CondLock lock(schedMutex_);
-        state_.clear();
-        parked_.clear();
+    pool_.clear();
+    workersLive_.store(false, std::memory_order_release);
+    CondLock lock(schedMutex_);
+    stopping_ = false;
+    for (auto &wp : workers_) {
+        wp->tid = std::thread::id{};
+        wp->currentSlot = kNoSlot;
     }
+}
 
+std::vector<Fleet::JobResult>
+Fleet::run()
+{
+    start();
+    auto results = drain();
+    retireWorkers();
+    // The batch contract: the queue is consumed, slot numbering and the
+    // external sequence restart, so add() + run() may be repeated with
+    // result indices starting at zero each time.
+    CondLock lock(schedMutex_);
+    state_.clear();
+    parked_.clear();
+    meta_.clear();
+    results_.clear();
+    externalSeq_ = 0;
     return results;
 }
 

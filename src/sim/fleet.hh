@@ -10,12 +10,35 @@
  * executor only decides *which* host thread runs *which* machine, never
  * how a machine executes internally.
  *
- * Scheduling is a per-worker deque with job stealing: jobs are dealt
- * round-robin at submission, a worker pops its own deque from the front,
- * and a worker that runs dry steals from the back of another worker's
- * deque. Heterogeneous fleets (a world-switch storm VM next to a
- * compute-bound VM) therefore keep every host thread busy until the global
- * queue is empty instead of idling behind a static partition.
+ * The fleet is a long-lived worker pool with a thread-safe submission
+ * channel. submit() is legal before start() (jobs queue until workers
+ * exist), while the pool runs, and — crucially — from inside a running job
+ * body: a running VM may take a COW snapshot of itself (DESIGN.md §4.9)
+ * and submit clone jobs mid-run, "VMs spawning VMs". drain() blocks until
+ * every submitted job (including transitively spawned ones) has finished
+ * and returns that epoch's results; shutdown() drains and retires the
+ * workers, after which submission is a diagnosed hard error.
+ *
+ * Determinism does not come from arrival order — concurrent spawns race,
+ * so arrival order differs run to run. Instead every submission is stamped
+ * with a (submitter-id, submission-seq) key: the submitter is the
+ * deterministic 64-bit id of the job that called submit() (0 for the
+ * external owner thread), and the seq is that submitter's private
+ * submission counter. Both are pure functions of simulated execution, so
+ * the key — and everything dealt or ordered by it — is identical at any
+ * worker count. Jobs are dealt to a home worker derived from the key, and
+ * drain()/run() order results by key path (a parent's spawns sort directly
+ * after the parent, in spawn order), never by completion or arrival order.
+ * Per-VM sim_cycles and stat dumps therefore gate bit-identical across
+ * serial and 1/2/4/8 workers (bench/fleet_pool), the same way fleet_tput
+ * and fleet_clone already gate.
+ *
+ * Scheduling is a per-worker deque with job stealing: jobs are dealt by
+ * key, a worker pops its own deque from the front, and a worker that runs
+ * dry steals from the back of another worker's deque. Heterogeneous fleets
+ * (a world-switch storm VM next to a compute-bound VM) therefore keep
+ * every host thread busy until the global queue is empty instead of idling
+ * behind a static partition.
  *
  * Communicating fleets (DESIGN.md §4.10) use *resumable* jobs: a StepFn
  * advances its machine until it must wait for a peer (e.g. a RingPacer
@@ -26,9 +49,18 @@
  * immediate re-queue, so wakeups are never lost. At one worker thread this
  * degrades to serial round-robin between the communicating jobs, which is
  * exactly the reference schedule the determinism gates compare against.
- * If every worker goes idle while unfinished jobs sit parked, nothing can
- * ever wake them (wakes originate from running jobs): the fleet fails
- * those jobs with a rendezvous-deadlock error instead of hanging.
+ * While a drain is in progress, a job parked with every worker idle and
+ * nothing queued or running can never be woken (drain means the owner has
+ * stopped submitting, and wakes otherwise only come from running jobs):
+ * those jobs are failed with a rendezvous-deadlock error instead of
+ * hanging the drain. Between drains, parked jobs legitimately wait for
+ * future submissions or external notify() calls and are left alone.
+ *
+ * The legacy batch API (add()/addResumable() + run()) is a thin veneer
+ * over the pool: run() starts the workers, drains, and retires them.
+ * add() keeps its historical contract — calling it while workers are live
+ * is a diagnosed hard error pointing at submit(), preserving the loud
+ * failure for code written against the enqueue-everything-then-run model.
  */
 
 #ifndef KVMARM_SIM_FLEET_HH
@@ -41,6 +73,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/thread_annotations.hh"
@@ -77,31 +110,52 @@ class Fleet
         unsigned worker = 0;    //!< worker thread that ran the last step
         bool stolen = false;    //!< some step ran on a non-home worker
         std::uint64_t steps = 0; //!< times the body was entered
+        /** Deterministic submission key: the id of the submitting job
+         *  (kExternalSubmitter for the owner thread) and that submitter's
+         *  private submission sequence number. Identical at any worker
+         *  count. */
+        std::uint64_t submitter = 0;
+        std::uint64_t seq = 0;
     };
 
-    /** Pool-level counters for one run() call. */
+    /** Pool-level counters, reset by start() (and so by each run()). */
     struct Stats
     {
         std::uint64_t jobsRun = 0;
         std::uint64_t jobsStolen = 0;
-        std::uint64_t jobsParked = 0; //!< Blocked returns (park events)
+        std::uint64_t jobsParked = 0;  //!< Blocked returns (park events)
+        std::uint64_t jobsSpawned = 0; //!< submissions from job bodies
+        std::uint64_t epochs = 0;      //!< completed drain() epochs
     };
+
+    /** Submitter id reported for jobs submitted from outside any job body
+     *  (the pool owner's thread, or any non-worker thread). */
+    static constexpr std::uint64_t kExternalSubmitter = 0;
 
     /** @param threads Worker count; 0 means one per host hardware thread. */
     explicit Fleet(unsigned threads);
+
+    /** Retires the workers if the pool is still live (any unfinished
+     *  parked jobs are failed by the implicit drain; results are
+     *  discarded). Prefer an explicit shutdown(). */
+    ~Fleet();
 
     Fleet(const Fleet &) = delete;
     Fleet &operator=(const Fleet &) = delete;
 
     unsigned threads() const { return threads_; }
 
+    /// @name Legacy batch API
+    /// @{
+
     /**
-     * Queue a job for the next run(). Not thread-safe: submission happens
-     * on the owning thread before run(); calling add() while run() is in
-     * progress (e.g. from inside a job body) is a hard error — the deal
-     * happened before the workers started, so a late job could be silently
-     * dropped. Returns the job's index, which is also its slot in run()'s
-     * result vector.
+     * Queue a job for the next run(). Calling add() while workers are live
+     * (e.g. from inside a job body) is a hard error: code written against
+     * the batch model expects every job dealt before the workers start,
+     * so a late add() is a bug — the submission channel (submit()) is the
+     * supported way to feed a running fleet. Returns the job's index,
+     * which is also its slot in run()'s result vector (spawned jobs, if
+     * any, sort after their submitter).
      */
     std::size_t add(std::string name, JobFn fn);
 
@@ -109,24 +163,86 @@ class Fleet
     std::size_t addResumable(std::string name, StepFn fn);
 
     /**
+     * Execute every queued job to completion and return per-job results in
+     * deterministic key order (for a batch with no mid-run spawns that is
+     * exactly submission order). Equivalent to start() + drain() +
+     * retiring the workers, so job bodies may submit() spawns, which are
+     * drained by the same call. Exceptions escaping a job are captured in
+     * its JobResult rather than tearing down the fleet. The queue is
+     * consumed; add() + run() may be repeated.
+     */
+    std::vector<JobResult> run();
+    /// @}
+
+    /// @name Long-lived pool API
+    /// @{
+
+    /**
+     * Spin up the worker pool. Jobs already submitted are picked up
+     * immediately; subsequent submissions feed the running workers. Hard
+     * error if the pool is already live or was shut down.
+     */
+    void start();
+
+    /** True from start() until the workers retire (run() end, shutdown()). */
+    bool poolLive() const
+    {
+        return workersLive_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Submit a job through the channel (thread-safe). Legal before
+     * start() — the job queues until workers exist — and at any point
+     * while the pool runs, including from inside a running job body (the
+     * spawn case: the submission is stamped with the running job's id as
+     * its submitter). Hard error after shutdown(). Returns the job's
+     * handle for notify().
+     */
+    std::size_t submit(std::string name, JobFn fn);
+
+    /** Submit a resumable job (same rules as submit()). */
+    std::size_t submitResumable(std::string name, StepFn fn);
+
+    /**
+     * Wait until every submitted job — including jobs spawned while the
+     * drain is in flight — has finished, then return the results of all
+     * jobs completed since the previous drain (one *epoch*), ordered by
+     * deterministic submission key. Jobs parked with no runnable peer
+     * left to wake them are failed with a rendezvous-deadlock error (the
+     * caller declared the submission channel idle by draining). The pool
+     * stays live; submit() + drain() may be repeated. Must be called from
+     * a non-worker thread; one drain at a time.
+     */
+    std::vector<JobResult> drain();
+
+    /**
+     * Drain the current epoch, retire the workers, and close the
+     * submission channel: any later submit()/start() is a diagnosed hard
+     * error. Returns the final epoch's results. Idempotent-hostile by
+     * design — shutting down twice is also a hard error.
+     */
+    std::vector<JobResult> shutdown();
+
+    /** Completed drain() epochs (published at each drain boundary;
+     *  readable from any thread). */
+    std::uint64_t epoch() const
+    {
+        return epochsDone_.load(std::memory_order_acquire);
+    }
+    /// @}
+
+    /**
      * Wake a parked job (thread-safe; callable from job bodies — the
      * usual caller is a RingChannel wake hook running on a peer's
      * worker). If the job is mid-step, the wake is latched so the
      * subsequent Blocked return re-queues instead of parking. No-op for
-     * queued/finished jobs or outside run().
+     * queued/finished jobs or while no workers are live.
      */
     void notify(std::size_t index);
 
-    /**
-     * Execute every queued job to completion and return per-job results in
-     * submission order. Exceptions escaping a job are captured in its
-     * JobResult rather than tearing down the fleet. The queue is consumed;
-     * add() + run() may be repeated.
-     */
-    std::vector<JobResult> run();
-
-    /** Counters from the most recent run(). Quiesced-only: valid once
-     *  run() has returned, when no worker thread is live — the analysis
+    /** Counters since the last start(). Quiesced-only: valid once run()
+     *  or shutdown() has returned (or between drains with no external
+     *  submitter racing), when no worker is mutating them — the analysis
      *  is waived here for the same reason. */
     const Stats &
     stats() const KVMARM_NO_THREAD_SAFETY_ANALYSIS
@@ -135,15 +251,30 @@ class Fleet
     }
 
   private:
+    /** A queued/parked job instance. */
     struct Job
     {
         std::string name;
         StepFn fn;
-        std::size_t index; //!< submission order == result slot
+        std::size_t slot;  //!< index into the per-slot bookkeeping arrays
         unsigned home;     //!< worker the job was dealt to
     };
 
-    /** Lifecycle of one job during run(). */
+    /** Per-slot metadata that outlives the queued Job instance. The key
+     *  path is the submitter chain's seq numbers (external jobs have a
+     *  one-element path); lexicographic path order is the deterministic
+     *  result order. */
+    struct JobMeta
+    {
+        std::uint64_t id = 0;        //!< deterministic id (key hash chain)
+        std::uint64_t submitter = 0; //!< submitter's id (0 = external)
+        std::uint64_t seq = 0;       //!< submitter-private sequence
+        std::uint64_t childSeq = 0;  //!< next seq this job hands a spawn
+        std::vector<std::uint64_t> path; //!< key path for result ordering
+        bool returned = false;       //!< already handed out by a drain
+    };
+
+    /** Lifecycle of one job. */
     enum class JobState : std::uint8_t
     {
         Queued,   //!< in some worker's deque
@@ -160,30 +291,59 @@ class Fleet
     {
         Mutex mutex;
         std::deque<Job> jobs KVMARM_GUARDED_BY(mutex);
+        /** Host thread identity, for resolving which job is submitting
+         *  (written under schedMutex_ in start() before any job body can
+         *  run; read under schedMutex_ by submit()). */
+        std::thread::id tid;
+        /** Slot of the job this worker is currently stepping, or npos. */
+        std::size_t currentSlot = kNoSlot;
     };
 
+    static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+    std::size_t submitLocked(std::string name, StepFn fn)
+        KVMARM_REQUIRES(schedMutex_);
     bool popOwn(unsigned w, Job &out);
     bool stealFrom(unsigned thief, Job &out);
     void enqueue(Job job) KVMARM_REQUIRES(schedMutex_);
-    void workerMain(unsigned w, std::vector<JobResult> &results);
+    void failDeadlockedParked() KVMARM_REQUIRES(schedMutex_);
+    std::vector<JobResult> collectEpoch() KVMARM_REQUIRES(schedMutex_);
+    void startLocked() KVMARM_REQUIRES(schedMutex_);
+    std::vector<JobResult> drainLocked(CondLock &lock)
+        KVMARM_REQUIRES(schedMutex_);
+    void retireWorkers();
+    void workerMain(unsigned w);
 
     unsigned threads_;
-    /** True while run()'s worker pool is live; add() hard-errors then.
-     *  Atomic so a misuse from a job body (worker thread) is still
-     *  diagnosed race-free rather than corrupting pending_. */
-    std::atomic<bool> running_{false};
-    std::vector<Job> pending_;
+    /** True while the worker pool is live. Atomic so notify()/poolLive()
+     *  from job bodies (worker threads) stay race-free. */
+    std::atomic<bool> workersLive_{false};
+    std::atomic<std::uint64_t> epochsDone_{0};
     std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> pool_;
 
-    /** Scheduling state shared by workers and notify(). */
+    /** Scheduling state shared by workers, submitters and notify().
+     *  Deques, not vectors: slots grow while workers hold references to
+     *  existing elements, and deque growth never moves them. */
     Mutex schedMutex_;
-    std::condition_variable_any cv_;
-    std::vector<JobState> state_ KVMARM_GUARDED_BY(schedMutex_);
-    std::vector<Job> parked_ KVMARM_GUARDED_BY(schedMutex_);
+    /** Workers sleep on cvWork_ (signalled by submissions and wakes);
+     *  drain() sleeps on cvDone_ (signalled when unfinished_ hits zero).
+     *  Separate so a submission's notify_one can never be swallowed by
+     *  the draining thread instead of a worker. */
+    std::condition_variable_any cvWork_;
+    std::condition_variable_any cvDone_;
+    std::deque<JobState> state_ KVMARM_GUARDED_BY(schedMutex_);
+    std::deque<Job> parked_ KVMARM_GUARDED_BY(schedMutex_);
+    std::deque<JobMeta> meta_ KVMARM_GUARDED_BY(schedMutex_);
+    std::deque<JobResult> results_ KVMARM_GUARDED_BY(schedMutex_);
+    std::uint64_t externalSeq_ KVMARM_GUARDED_BY(schedMutex_) = 0;
     std::size_t unfinished_ KVMARM_GUARDED_BY(schedMutex_) = 0;
     std::size_t queuedCount_ KVMARM_GUARDED_BY(schedMutex_) = 0;
     unsigned runningCount_ KVMARM_GUARDED_BY(schedMutex_) = 0;
     unsigned idleWorkers_ KVMARM_GUARDED_BY(schedMutex_) = 0;
+    bool draining_ KVMARM_GUARDED_BY(schedMutex_) = false;
+    bool stopping_ KVMARM_GUARDED_BY(schedMutex_) = false;
+    bool shutdown_ KVMARM_GUARDED_BY(schedMutex_) = false;
 
     Mutex statsMutex_;
     Stats stats_ KVMARM_GUARDED_BY(statsMutex_);

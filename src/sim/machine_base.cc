@@ -15,14 +15,25 @@ namespace {
 MachineBase::CheckEngineCreate gCheckCreate = nullptr;
 // domlint: allow(ownership-static) — written once by the check layer's static initializer before main(); read-only while any machine is live
 MachineBase::CheckEngineDestroy gCheckDestroy = nullptr;
+// domlint: allow(ownership-static) — written once by the check layer's static initializer before main(); read-only while any machine is live
+MachineBase::CheckEnginePublish gCheckPublish = nullptr;
 } // namespace
 
 void
 MachineBase::registerCheckEngineFactory(CheckEngineCreate create,
-                                        CheckEngineDestroy destroy)
+                                        CheckEngineDestroy destroy,
+                                        CheckEnginePublish publish)
 {
     gCheckCreate = create;
     gCheckDestroy = destroy;
+    gCheckPublish = publish;
+}
+
+void
+MachineBase::publishCheckEpoch()
+{
+    if (checkEngine_ && gCheckPublish)
+        gCheckPublish(checkEngine_.get());
 }
 
 void
@@ -127,6 +138,9 @@ MachineBase::restoreSnapshot(const MachineSnapshot &snap)
     for (Snapshottable *s : snapshottables_)
         s->snapshotVerify();
     stopRequested_ = false;
+    // A restore rewrites rule shadow state wholesale; it is a quiesce
+    // boundary, so republish the violation counter for live aggregation.
+    KVMARM_CHECK_PUBLISH(*this);
 }
 
 bool
@@ -185,10 +199,21 @@ void
 MachineBase::run(Cycles haltAt)
 {
     stopRequested_ = false;
-    if (cpusBase_.size() == 1) {
+    if (cpusBase_.size() == 1)
         runSingle(haltAt);
-        return;
-    }
+    else
+        runMulti(haltAt);
+    // Every exit from run() — completion, bounded horizon, requestStop —
+    // leaves the machine quiesced on its own execution thread: publish
+    // the invariant-violation counter so the check facade's epoch
+    // aggregation (beginEpoch()/aggregateEpoch()) can read it live while
+    // other machines keep running.
+    KVMARM_CHECK_PUBLISH(*this);
+}
+
+void
+MachineBase::runMulti(Cycles haltAt)
+{
     while (!stopRequested_) {
         CpuBase *best = nullptr;
         Cycles best_clock = kNoDeadline;

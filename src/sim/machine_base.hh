@@ -101,11 +101,28 @@ class MachineBase
 
     using CheckEngineCreate = check::InvariantEngine *(*)();
     using CheckEngineDestroy = void (*)(check::InvariantEngine *);
+    using CheckEnginePublish = void (*)(check::InvariantEngine *);
 
     /** Called once by the check layer's static initializer; machines
-     *  constructed while no factory is registered get a null engine. */
+     *  constructed while no factory is registered get a null engine.
+     *  @p publish is the epoch hook: it snapshots an engine's live
+     *  violation counter into its published counter (DESIGN.md §4.11). */
     static void registerCheckEngineFactory(CheckEngineCreate create,
-                                           CheckEngineDestroy destroy);
+                                           CheckEngineDestroy destroy,
+                                           CheckEnginePublish publish);
+
+    /**
+     * Publish this machine's invariant-violation counter at a quiesce
+     * boundary. Runs on the machine's own execution thread with the
+     * machine quiesced, so the engine's lock-free publish is race-free;
+     * the check facade's beginEpoch()/aggregateEpoch() then aggregate the
+     * published values across the fleet without stopping any machine.
+     * Called automatically at every run() exit and after a snapshot
+     * restore (via KVMARM_CHECK_PUBLISH); no-op when no check layer is
+     * linked. Job bodies that quiesce a machine by other means may call
+     * it directly.
+     */
+    void publishCheckEpoch();
 
     /// @name Snapshot/clone support
     ///
@@ -164,6 +181,10 @@ class MachineBase
      *  with the horizon as its yield threshold. */
     void runSingle(Cycles haltAt);
 
+    /** The general scheduler scan for multi-CPU machines. Both loops exit
+     *  back through run(), which publishes the check epoch. */
+    void runMulti(Cycles haltAt);
+
     std::vector<Snapshottable *> snapshottables_;
     std::vector<std::pair<std::uint64_t, std::string>> snapshotBlockers_;
     std::uint64_t nextBlockerToken_ = 1;
@@ -178,5 +199,16 @@ class MachineBase
 };
 
 } // namespace kvmarm
+
+/**
+ * Epoch-publish hook used at machine quiesce boundaries, part of the
+ * KVMARM_CHECK hook-macro family (check/invariants.hh): it routes through
+ * the publish function the check layer registered alongside the engine
+ * factory, and degrades to a no-op when no check layer is linked. A macro
+ * (rather than a bare method call) so domlint's hook-coverage rule can
+ * hold the quiesce-boundary sites to the same manifest discipline as the
+ * event hook sites.
+ */
+#define KVMARM_CHECK_PUBLISH(machine) ((machine).publishCheckEpoch())
 
 #endif // KVMARM_SIM_MACHINE_BASE_HH

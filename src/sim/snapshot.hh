@@ -46,6 +46,19 @@ struct SnapshotRecord
 struct MachineSnapshot
 {
     std::vector<SnapshotRecord> records;
+
+    /** Serialized payload size (record bytes only — shared attachments
+     *  such as the COW page image are referenced, not copied, which is
+     *  exactly why spawning clone VMs from a live job is cheap; bench
+     *  fleet_pool reports this figure). */
+    std::size_t
+    totalBytes() const
+    {
+        std::size_t n = 0;
+        for (const SnapshotRecord &rec : records)
+            n += rec.bytes.size();
+        return n;
+    }
 };
 
 /** Accumulates one component's snapshot record. */

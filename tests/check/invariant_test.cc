@@ -9,12 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
 #include "arm/machine.hh"
 #include "check/invariants.hh"
 #include "core/kvm.hh"
 #include "core/stage2_mmu.hh"
 #include "host/kernel.hh"
 #include "host/mm.hh"
+#include "sim/fleet.hh"
 #include "sim/logging.hh"
 
 namespace kvmarm {
@@ -634,6 +639,109 @@ TEST(EngineSharding, FacadePropagatesModeToLiveEngines)
     // Scope exit turns every engine back off and clears its log.
     EXPECT_EQ(machine.checkEngine()->mode(), CheckMode::Off);
     EXPECT_EQ(machine.checkEngine()->violationCount(), 0u);
+}
+
+// ------------------------------------------------------------------- epoch
+
+TEST(EpochProtocol, MidRunAggregationMatchesPostRunTotals)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    ASSERT_NE(machine.checkEngine(), nullptr);
+
+    constexpr std::uint64_t kViolations = 3;
+    std::uint64_t epochId = check::engine().beginEpoch();
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, 0u);
+
+    Fleet fleet(2);
+    fleet.start();
+    std::atomic<bool> committed{false};
+    std::atomic<bool> allowPublish{false};
+    std::atomic<bool> published{false};
+    std::atomic<bool> release{false};
+    fleet.submit("violator", [&] {
+        for (std::uint64_t i = 0; i < kViolations; ++i)
+            machine.checkEngine()->hypAccess(0, Mode::Svc, "hcr");
+        committed = true;
+        while (!allowPublish)
+            std::this_thread::yield();
+        machine.publishCheckEpoch(); // the quiesce-boundary publish
+        published = true;
+        while (!release)
+            std::this_thread::yield();
+    });
+
+    // Violations recorded but not yet published: invisible to the live
+    // sample — aggregation never reads state the machine thread is
+    // mutating, which is the whole point of the epoch protocol.
+    while (!committed)
+        std::this_thread::yield();
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, 0u);
+
+    // After the publish the sample sees them — while the job is still
+    // occupying a worker, with no stop-the-world anywhere.
+    allowPublish = true;
+    while (!published)
+        std::this_thread::yield();
+    check::EpochReport mid = check::engine().aggregateEpoch();
+    EXPECT_EQ(mid.epoch, epochId);
+    EXPECT_EQ(mid.violations, kViolations);
+    release = true;
+    fleet.shutdown();
+
+    // Post-run, fully quiesced: the live sample already had the totals.
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, kViolations);
+    EXPECT_EQ(check::engine().violationCount("privilege"), kViolations);
+}
+
+TEST(EpochProtocol, RunExitPublishesAutomatically)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    check::engine().beginEpoch();
+    machine.checkEngine()->hypAccess(0, Mode::Svc, "hcr");
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, 0u); // live only
+    machine.run(); // no CPU entries: returns at once — and publishes
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, 1u);
+}
+
+TEST(EpochProtocol, RetiredEnginesKeepCounting)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    check::engine().beginEpoch();
+    {
+        ArmMachine machine(smallMachine());
+        machine.checkEngine()->hypAccess(0, Mode::Svc, "hcr");
+    } // the machine (and its engine) dies with the fleet job
+    // A completed VM's violations survive into the epoch sample (the
+    // dying engine retires its exact live count)...
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, 1u);
+    // ...even though exact log aggregation no longer sees the engine.
+    EXPECT_EQ(check::engine().violationCount("privilege"), 0u);
+}
+
+TEST(EpochProtocol, WindowsRebaselineAndMachineEnginesRejectEpochCalls)
+{
+    ScopedCheckMode scoped(CheckMode::Log);
+    ArmMachine machine(smallMachine());
+    machine.checkEngine()->hypAccess(0, Mode::Svc, "hcr");
+    machine.publishCheckEpoch();
+
+    std::uint64_t e1 = check::engine().beginEpoch();
+    std::uint64_t e2 = check::engine().beginEpoch();
+    EXPECT_EQ(e2, e1 + 1);
+    EXPECT_EQ(check::engine().aggregateEpoch().violations, 0u);
+
+    machine.checkEngine()->hypAccess(0, Mode::Svc, "vttbr");
+    machine.publishCheckEpoch();
+    check::EpochReport rep = check::engine().aggregateEpoch();
+    EXPECT_EQ(rep.epoch, e2);
+    EXPECT_EQ(rep.violations, 1u);
+    EXPECT_GE(rep.engines, 2u); // at least the facade + this machine
+
+    // Epochs are a facade protocol; machine engines reject them loudly.
+    EXPECT_THROW(machine.checkEngine()->beginEpoch(), FatalError);
+    EXPECT_THROW(machine.checkEngine()->aggregateEpoch(), FatalError);
 }
 
 #endif // KVMARM_INVARIANTS_ENABLED

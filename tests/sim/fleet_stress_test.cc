@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Deterministic randomized fleet stress test: a seeded PRNG (sim/random.hh)
+ * generates a schedule of pool operations — external submissions before and
+ * during the run, snapshot/clone spawns from inside job bodies, ring-paired
+ * communicating VMs, park/notify ping-pong, and a mid-schedule drain epoch —
+ * and the whole schedule executes against the long-lived Fleet pool at 1,
+ * 2, 4 and 8 workers (and again under Enforce checking). The invariant
+ * under test is the fleet's core determinism contract (DESIGN.md §4.11):
+ * every VM's simulated execution depends only on its submission key and
+ * workload spec, so per-VM sim_cycles, stat dumps and ring digests must be
+ * bit-identical across every worker count and check mode.
+ *
+ * The plan is generated from the seed BEFORE execution (no RNG draw ever
+ * happens on a worker thread), so a failing seed replays exactly. Tier-1
+ * runs a fixed seed set; set KVMARM_STRESS_SEED=<n> to reproduce or
+ * explore a specific schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arm/machine.hh"
+#include "check/invariants.hh"
+#include "core/kvm.hh"
+#include "host/kernel.hh"
+#include "sim/fleet.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/ring_channel.hh"
+#include "vdev/vring.hh"
+#include "workload/ring_driver.hh"
+
+namespace kvmarm {
+namespace {
+
+using arm::ArmCpu;
+using arm::ArmMachine;
+
+/** Seeded workload shape for one VM (drawn at plan time, never on a
+ *  worker thread). */
+struct VmSpec
+{
+    std::uint64_t warmPages = 0;
+    std::uint64_t warmHvc = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t hvcs = 0;
+    std::uint64_t freshPages = 0;
+};
+
+/** One root entry of the generated schedule. */
+struct RootSpec
+{
+    enum class Kind
+    {
+        Compute,  //!< one self-contained VM job
+        Spawner,  //!< VM that snapshots itself and spawns clone VMs mid-run
+        RingPair, //!< two communicating VMs on one RingChannel
+        ParkPair, //!< two mutually-waking resumable jobs (no VM)
+    };
+
+    Kind kind = Kind::Compute;
+    VmSpec self;
+    std::vector<VmSpec> clones; //!< Spawner: one workload per spawned clone
+    unsigned rounds = 0;        //!< RingPair / ParkPair
+    std::size_t outcomeBase = 0;
+    bool secondWave = false; //!< submitted after the mid-schedule drain
+};
+
+struct Plan
+{
+    std::uint64_t seed = 0;
+    std::vector<RootSpec> roots;
+    std::size_t outcomes = 0;
+};
+
+/** Everything observable one VM produced. Rings store (digest, checksum)
+ *  in blob; machine jobs store the full stat dump. */
+struct Outcome
+{
+    Cycles simCycles = 0;
+    std::string blob;
+
+    bool
+    operator==(const Outcome &o) const
+    {
+        return simCycles == o.simCycles && blob == o.blob;
+    }
+};
+
+VmSpec
+drawVm(Rng &rng)
+{
+    VmSpec s;
+    s.warmPages = 24 + rng.range(40);
+    s.warmHvc = 20 + rng.range(60);
+    s.reads = 200 + rng.range(400);
+    s.hvcs = 20 + rng.range(60);
+    s.freshPages = 8 + rng.range(16);
+    return s;
+}
+
+Plan
+makePlan(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Plan plan;
+    plan.seed = seed;
+    constexpr unsigned kRoots = 6;
+    for (unsigned i = 0; i < kRoots; ++i) {
+        RootSpec r;
+        // Roots 0/1 are pinned to the two heavyweight kinds so every seed
+        // covers the spawn and ring paths; the rest of the schedule is up
+        // to the seed.
+        unsigned kind = i == 0 ? 1 : i == 1 ? 2 : unsigned(rng.range(4));
+        switch (kind) {
+          case 0:
+            r.kind = RootSpec::Kind::Compute;
+            r.self = drawVm(rng);
+            break;
+          case 1:
+            r.kind = RootSpec::Kind::Spawner;
+            r.self = drawVm(rng);
+            for (std::uint64_t c = 0, n = 2 + rng.range(3); c < n; ++c)
+                r.clones.push_back(drawVm(rng));
+            break;
+          case 2:
+            r.kind = RootSpec::Kind::RingPair;
+            r.rounds = static_cast<unsigned>(8 + rng.range(16));
+            break;
+          default:
+            r.kind = RootSpec::Kind::ParkPair;
+            r.rounds = static_cast<unsigned>(4 + rng.range(8));
+            break;
+        }
+        r.secondWave = i >= 4; // roots 4..5 land after the first drain
+        r.outcomeBase = plan.outcomes;
+        switch (r.kind) {
+          case RootSpec::Kind::Compute: plan.outcomes += 1; break;
+          case RootSpec::Kind::Spawner:
+            plan.outcomes += 1 + r.clones.size();
+            break;
+          case RootSpec::Kind::RingPair: plan.outcomes += 2; break;
+          case RootSpec::Kind::ParkPair: break;
+        }
+        plan.roots.push_back(std::move(r));
+    }
+    return plan;
+}
+
+/** A full-stack snapshot-capable VM, the fleet_clone two-phase shape:
+ *  boot/warm leg that quiesces, then a workload leg. */
+class StressVm
+{
+  public:
+    StressVm() : machine_(makeConfig()), hostk_(machine_), kvm_(hostk_) {}
+
+    ArmMachine &machine() { return machine_; }
+
+    void
+    bootAndWarm(const VmSpec &spec)
+    {
+        machine_.cpu(0).setEntry([this, &spec] {
+            ArmCpu &cpu = machine_.cpu(0);
+            hostk_.boot(0);
+            if (!kvm_.initCpu(cpu))
+                fatal("fleet_stress: KVM init failed");
+            buildVmSkeleton();
+            vcpu_->run(cpu, [this, &spec](ArmCpu &c) {
+                const Addr base = vm_->ramBase();
+                for (std::uint64_t i = 0; i < spec.warmPages; ++i)
+                    c.memWrite(base + Addr(i) * kPageSize,
+                               0xA0000000u + static_cast<std::uint32_t>(i),
+                               4);
+                for (std::uint64_t i = 0; i < spec.warmHvc; ++i)
+                    c.hvc(core::hvc::kTestHypercall);
+            });
+        });
+        machine_.run();
+    }
+
+    void
+    cloneFrom(const MachineSnapshot &snap)
+    {
+        kvm_.primeForRestore();
+        buildVmSkeleton();
+        machine_.restoreSnapshot(snap);
+    }
+
+    void
+    runWorkload(const VmSpec &spec, Outcome &out)
+    {
+        machine_.cpu(0).setEntry([this, &spec, &out] {
+            ArmCpu &cpu = machine_.cpu(0);
+            vcpu_->run(cpu, [this, &spec, &out](ArmCpu &c) {
+                const Addr base = vm_->ramBase();
+                Cycles sim0 = c.now();
+                for (std::uint64_t i = 0; i < spec.reads; ++i)
+                    c.memRead(base + ((i & 63) * 8), 4);
+                for (std::uint64_t i = 0; i < spec.hvcs; ++i)
+                    c.hvc(core::hvc::kTestHypercall);
+                const Addr fresh = base + 16 * kMiB;
+                for (std::uint64_t i = 0; i < spec.freshPages; ++i)
+                    c.memWrite(fresh + Addr(i) * kPageSize,
+                               0xB000 + static_cast<std::uint32_t>(i), 4);
+                out.simCycles = c.now() - sim0;
+            });
+        });
+        machine_.run();
+
+        std::ostringstream os;
+        machine_.cpu(0).stats().dump(os, "cpu0.");
+        vcpu_->stats.dump(os, "vcpu.");
+        out.blob = os.str();
+    }
+
+  private:
+    static ArmMachine::Config
+    makeConfig()
+    {
+        ArmMachine::Config mc;
+        mc.numCpus = 1;
+        mc.ramSize = 64 * kMiB;
+        return mc;
+    }
+
+    void
+    buildVmSkeleton()
+    {
+        vm_ = kvm_.createVm(32 * kMiB);
+        vcpu_ = &vm_->addVcpu(0);
+    }
+
+    ArmMachine machine_;
+    host::HostKernel hostk_;
+    core::Kvm kvm_;
+    std::unique_ptr<core::Vm> vm_;
+    core::VCpu *vcpu_ = nullptr;
+};
+
+/** One communicating VM of a ring pair (the fleet_ring resumable shape). */
+class StressRingVm
+{
+  public:
+    StressRingVm(const std::string &name, RingChannel::Endpoint &ep,
+                 bool initiator, unsigned rounds)
+    {
+        ArmMachine::Config mc;
+        mc.numCpus = 1;
+        mc.ramSize = 64 * kMiB;
+        machine_ = std::make_unique<ArmMachine>(mc);
+        hostk_ = std::make_unique<host::HostKernel>(*machine_);
+        kvm_ = std::make_unique<core::Kvm>(*hostk_, core::KvmConfig{});
+        pacer_ = std::make_unique<RingPacer>(*machine_, name);
+        pacer_->attach(ep);
+
+        machine_->cpu(0).setEntry([this, &ep, initiator, rounds] {
+            ArmCpu &cpu = machine_->cpu(0);
+            hostk_->boot(0);
+            if (!kvm_->initCpu(cpu))
+                fatal("fleet_stress: KVM init failed");
+            vm_ = kvm_->createVm(32 * kMiB);
+            core::VCpu &vcpu = vm_->addVcpu(0);
+            guest_ = std::make_unique<wl::RingGuestOs>();
+            vcpu.setGuestOs(guest_.get());
+            dev_ = std::make_unique<vdev::VringDevice>(*kvm_, *vm_, ep);
+
+            vcpu.run(cpu, [this, initiator, rounds](ArmCpu &c) {
+                guest_->init(c);
+                Cycles sim0 = c.now();
+                guest_->pingPong(c, rounds, initiator, /*payload=*/48);
+                simCycles_ = c.now() - sim0;
+            });
+        });
+    }
+
+    Fleet::StepOutcome
+    step()
+    {
+        return pacer_->step() == RingPacer::Step::Done
+                   ? Fleet::StepOutcome::Done
+                   : Fleet::StepOutcome::Blocked;
+    }
+
+    RingPacer &pacer() { return *pacer_; }
+
+    Outcome
+    outcome() const
+    {
+        Outcome o;
+        o.simCycles = simCycles_;
+        std::ostringstream os;
+        os << "digest=" << dev_->digest() << " checksum=" << guest_->checksum()
+           << " tx=" << dev_->txCount();
+        o.blob = os.str();
+        return o;
+    }
+
+  private:
+    // Declaration order is destruction safety: device and pacer deregister
+    // from the machine, so the machine must outlive both.
+    std::unique_ptr<ArmMachine> machine_;
+    std::unique_ptr<host::HostKernel> hostk_;
+    std::unique_ptr<core::Kvm> kvm_;
+    std::unique_ptr<RingPacer> pacer_;
+    std::unique_ptr<wl::RingGuestOs> guest_;
+    std::unique_ptr<core::Vm> vm_;
+    std::unique_ptr<vdev::VringDevice> dev_;
+    Cycles simCycles_ = 0;
+};
+
+/** Mutually-waking resumable pair state (pure scheduling, no VM). */
+struct ParkPairState
+{
+    std::array<std::size_t, 2> idx{};
+    std::atomic<unsigned> turnsA{0};
+    std::atomic<unsigned> turnsB{0};
+};
+
+/** Execute @p plan on a pool of @p threads workers and return the outcome
+ *  table. The schedule: ring/park pairs are submitted before start() (their
+ *  notify wiring must exist before any step runs), wave-1 compute/spawner
+ *  roots go through the live channel, a drain closes epoch 1, wave-2 roots
+ *  form epoch 2, and shutdown() retires the pool. */
+std::vector<Outcome>
+runPlan(const Plan &plan, unsigned threads)
+{
+    SCOPED_TRACE("seed=" + std::to_string(plan.seed) +
+                 " threads=" + std::to_string(threads));
+    Fleet fleet(threads);
+    std::vector<Outcome> outcomes(plan.outcomes);
+    std::vector<std::unique_ptr<RingChannel>> channels;
+    std::vector<std::unique_ptr<StressRingVm>> ringVms;
+    std::vector<std::unique_ptr<ParkPairState>> parkPairs;
+    std::vector<Fleet::JobResult> results;
+
+    auto submitMachineRoot = [&fleet, &outcomes](const RootSpec &root,
+                                                 std::size_t rootNo) {
+        const std::string name = "root" + std::to_string(rootNo);
+        if (root.kind == RootSpec::Kind::Compute) {
+            fleet.submit(name, [&root, &outcomes] {
+                StressVm vm;
+                vm.bootAndWarm(root.self);
+                vm.runWorkload(root.self, outcomes[root.outcomeBase]);
+            });
+            return;
+        }
+        // Spawner: boot, quiesce, snapshot, spawn clone jobs through the
+        // live channel from inside this job body, then keep running.
+        fleet.submit(name, [&fleet, &root, &outcomes, name] {
+            StressVm vm;
+            vm.bootAndWarm(root.self);
+            std::shared_ptr<const MachineSnapshot> snap =
+                vm.machine().takeSnapshot();
+            for (std::size_t c = 0; c < root.clones.size(); ++c) {
+                const VmSpec &cspec = root.clones[c];
+                std::size_t slot = root.outcomeBase + 1 + c;
+                fleet.submit(name + "-clone" + std::to_string(c),
+                             [snap, &cspec, &outcomes, slot] {
+                                 StressVm clone;
+                                 clone.cloneFrom(*snap);
+                                 clone.runWorkload(cspec, outcomes[slot]);
+                             });
+            }
+            vm.runWorkload(root.self, outcomes[root.outcomeBase]);
+        });
+    };
+
+    // Pre-start submissions: pairs whose notify wiring must be in place
+    // before any worker steps them.
+    for (std::size_t i = 0; i < plan.roots.size(); ++i) {
+        const RootSpec &root = plan.roots[i];
+        if (root.kind == RootSpec::Kind::RingPair) {
+            channels.push_back(std::make_unique<RingChannel>(
+                "stress-ring" + std::to_string(i), /*latency=*/20'000));
+            RingChannel &ch = *channels.back();
+            const char *half[2] = {"a", "b"};
+            for (unsigned h = 0; h < 2; ++h) {
+                ringVms.push_back(std::make_unique<StressRingVm>(
+                    "root" + std::to_string(i) + half[h], ch.end(h),
+                    /*initiator=*/h == 0, root.rounds));
+                StressRingVm *rv = ringVms.back().get();
+                std::size_t slot = root.outcomeBase + h;
+                std::size_t idx = fleet.submitResumable(
+                    "root" + std::to_string(i) + "-ring" + half[h],
+                    [rv, &outcomes, slot] {
+                        Fleet::StepOutcome o = rv->step();
+                        if (o == Fleet::StepOutcome::Done)
+                            outcomes[slot] = rv->outcome();
+                        return o;
+                    });
+                rv->pacer().setWakeHook(
+                    [&fleet, idx] { fleet.notify(idx); });
+            }
+        } else if (root.kind == RootSpec::Kind::ParkPair) {
+            parkPairs.push_back(std::make_unique<ParkPairState>());
+            ParkPairState *ps = parkPairs.back().get();
+            const unsigned rounds = root.rounds;
+            ps->idx[0] = fleet.submitResumable(
+                "root" + std::to_string(i) + "-parkA",
+                [&fleet, ps, rounds] {
+                    unsigned t = ++ps->turnsA;
+                    fleet.notify(ps->idx[1]);
+                    return t < rounds ? Fleet::StepOutcome::Blocked
+                                      : Fleet::StepOutcome::Done;
+                });
+            ps->idx[1] = fleet.submitResumable(
+                "root" + std::to_string(i) + "-parkB",
+                [&fleet, ps, rounds] {
+                    unsigned t = ++ps->turnsB;
+                    fleet.notify(ps->idx[0]);
+                    return t < rounds ? Fleet::StepOutcome::Blocked
+                                      : Fleet::StepOutcome::Done;
+                });
+        }
+    }
+
+    fleet.start();
+
+    // Wave 1 through the live channel, then the mid-schedule drain.
+    for (std::size_t i = 0; i < plan.roots.size(); ++i) {
+        const RootSpec &root = plan.roots[i];
+        if (root.secondWave || (root.kind != RootSpec::Kind::Compute &&
+                                root.kind != RootSpec::Kind::Spawner))
+            continue;
+        submitMachineRoot(root, i);
+    }
+    for (Fleet::JobResult &r : fleet.drain())
+        results.push_back(std::move(r));
+
+    // Wave 2: a second epoch over the same (still-live) workers.
+    for (std::size_t i = 0; i < plan.roots.size(); ++i) {
+        const RootSpec &root = plan.roots[i];
+        if (!root.secondWave || (root.kind != RootSpec::Kind::Compute &&
+                                 root.kind != RootSpec::Kind::Spawner))
+            continue;
+        submitMachineRoot(root, i);
+    }
+    for (Fleet::JobResult &r : fleet.shutdown())
+        results.push_back(std::move(r));
+
+    for (const Fleet::JobResult &r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    for (const auto &ps : parkPairs) {
+        EXPECT_EQ(ps->turnsA.load(), ps->turnsB.load());
+        EXPECT_GT(ps->turnsA.load(), 0u);
+    }
+    EXPECT_EQ(fleet.epoch(), 2u);
+    return outcomes;
+}
+
+void
+expectSameOutcomes(const std::vector<Outcome> &got,
+                   const std::vector<Outcome> &ref)
+{
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE("outcome " + std::to_string(i));
+        EXPECT_EQ(got[i].simCycles, ref[i].simCycles);
+        EXPECT_EQ(got[i].blob, ref[i].blob);
+        EXPECT_GT(got[i].simCycles, 0u); // every slot was actually filled
+    }
+}
+
+std::vector<std::uint64_t>
+stressSeeds()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any worker
+    if (const char *env = std::getenv("KVMARM_STRESS_SEED"))
+        return {std::strtoull(env, nullptr, 0)};
+    return {0x5eedf1ee7ull, 0xa11cebabeull}; // the fixed tier-1 seed set
+}
+
+TEST(FleetStress, SeededScheduleIsBitIdenticalAcrossWorkerCounts)
+{
+    for (std::uint64_t seed : stressSeeds()) {
+        Plan plan = makePlan(seed);
+        std::vector<Outcome> ref = runPlan(plan, 1);
+        for (unsigned threads : {2u, 4u, 8u}) {
+            SCOPED_TRACE("seed=" + std::to_string(seed) +
+                         " threads=" + std::to_string(threads));
+            expectSameOutcomes(runPlan(plan, threads), ref);
+        }
+    }
+}
+
+#if KVMARM_INVARIANTS_ENABLED
+TEST(FleetStress, EnforceModeScheduleMatchesUncheckedBitForBit)
+{
+    // Checking charges no simulated cycles, so the same schedule under
+    // Enforce must reproduce the unchecked outcomes exactly — at any
+    // worker count.
+    const std::uint64_t seed = stressSeeds().front();
+    Plan plan = makePlan(seed);
+    std::vector<Outcome> ref = runPlan(plan, 1);
+    check::ScopedCheckMode enforce(check::CheckMode::Enforce);
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("enforce threads=" + std::to_string(threads));
+        expectSameOutcomes(runPlan(plan, threads), ref);
+    }
+}
+#endif // KVMARM_INVARIANTS_ENABLED
+
+} // namespace
+} // namespace kvmarm

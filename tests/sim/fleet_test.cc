@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -371,6 +373,212 @@ TEST(Fleet, NotifyOutsideRunIsHarmless)
     std::vector<Fleet::JobResult> results = fleet.run();
     EXPECT_TRUE(results[0].ok);
     fleet.notify(idx); // after run: no-op
+}
+
+TEST(Fleet, SubmitFeedsALivePoolAcrossEpochs)
+{
+    Fleet fleet(2);
+    std::atomic<unsigned> ran{0};
+    fleet.submit("pre-start", [&ran] { ++ran; }); // queued until start()
+    EXPECT_FALSE(fleet.poolLive());
+    fleet.start();
+    EXPECT_TRUE(fleet.poolLive());
+    for (int i = 0; i < 5; ++i)
+        fleet.submit("live" + std::to_string(i), [&ran] { ++ran; });
+
+    std::vector<Fleet::JobResult> first = fleet.drain();
+    EXPECT_EQ(ran.load(), 6u);
+    ASSERT_EQ(first.size(), 6u);
+    // Result order is the external submission order, not completion order.
+    EXPECT_EQ(first[0].name, "pre-start");
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(first[i + 1].name, "live" + std::to_string(i));
+        EXPECT_EQ(first[i + 1].submitter, Fleet::kExternalSubmitter);
+    }
+    EXPECT_EQ(fleet.epoch(), 1u);
+
+    // The pool survives the drain: a second epoch over the same workers.
+    fleet.submit("second-epoch", [&ran] { ++ran; });
+    std::vector<Fleet::JobResult> second = fleet.drain();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].ok);
+    EXPECT_EQ(second[0].name, "second-epoch");
+    EXPECT_EQ(ran.load(), 7u);
+    EXPECT_EQ(fleet.epoch(), 2u);
+
+    EXPECT_TRUE(fleet.shutdown().empty());
+    EXPECT_FALSE(fleet.poolLive());
+}
+
+TEST(Fleet, JobsCanSpawnJobsWithDeterministicResultOrder)
+{
+    // "VMs spawning VMs": a running job submits children through the live
+    // channel. Results come out keyed by (submitter, seq) path — children
+    // directly after their parent in spawn order, external jobs in
+    // submission order — no matter which worker finished first.
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        Fleet fleet(threads);
+        fleet.start();
+        std::atomic<unsigned> children{0};
+        fleet.submit("parent", [&fleet, &children] {
+            for (int c = 0; c < 4; ++c) {
+                fleet.submit("child" + std::to_string(c),
+                             [&children] { ++children; });
+            }
+        });
+        fleet.submit("bystander", [] {});
+
+        std::vector<Fleet::JobResult> results = fleet.drain();
+        ASSERT_EQ(results.size(), 6u);
+        EXPECT_EQ(results[0].name, "parent");
+        for (int c = 0; c < 4; ++c) {
+            EXPECT_EQ(results[c + 1].name, "child" + std::to_string(c));
+            EXPECT_NE(results[c + 1].submitter, Fleet::kExternalSubmitter);
+            EXPECT_EQ(results[c + 1].seq, static_cast<std::uint64_t>(c));
+            EXPECT_TRUE(results[c + 1].ok);
+        }
+        EXPECT_EQ(results[5].name, "bystander");
+        EXPECT_EQ(children.load(), 4u);
+        EXPECT_EQ(fleet.stats().jobsSpawned, 4u);
+        fleet.shutdown();
+    }
+}
+
+TEST(Fleet, DrainWaitsForInFlightSpawns)
+{
+    // The drain starts while the spawner is still submitting; every
+    // transitively spawned job must be included in the same epoch.
+    Fleet fleet(2);
+    fleet.start();
+    std::atomic<unsigned> depth{0};
+    std::function<void(unsigned)> spawnChain =
+        [&fleet, &depth, &spawnChain](unsigned level) {
+            ++depth;
+            if (level < 5) {
+                fleet.submit("level" + std::to_string(level + 1),
+                             [&spawnChain, level] { spawnChain(level + 1); });
+            }
+        };
+    fleet.submit("level0", [&spawnChain] { spawnChain(0); });
+
+    std::vector<Fleet::JobResult> results = fleet.drain();
+    EXPECT_EQ(depth.load(), 6u);
+    ASSERT_EQ(results.size(), 6u);
+    for (const Fleet::JobResult &r : results)
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    // Each level spawned the next: the path ordering walks the chain.
+    for (unsigned i = 0; i < 6; ++i)
+        EXPECT_EQ(results[i].name, "level" + std::to_string(i));
+    fleet.shutdown();
+}
+
+TEST(Fleet, SpawnedChildFailureIsCapturedWithoutWedgingTheWorkers)
+{
+    Fleet fleet(2);
+    fleet.start();
+    fleet.submit("parent", [&fleet] {
+        fleet.submit("doomed-child",
+                     [] { fatal("deliberate spawned-child failure"); });
+        fleet.submit("healthy-child", [] {});
+    });
+
+    std::vector<Fleet::JobResult> results = fleet.drain();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("deliberate spawned-child failure"),
+              std::string::npos);
+    EXPECT_TRUE(results[2].ok);
+
+    // No worker was wedged by the child's exception: the pool still takes
+    // and finishes work.
+    bool ran = false;
+    fleet.submit("after-failure", [&ran] { ran = true; });
+    std::vector<Fleet::JobResult> second = fleet.drain();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].ok);
+    EXPECT_TRUE(ran);
+    fleet.shutdown();
+}
+
+TEST(Fleet, SubmitAfterShutdownIsAHardError)
+{
+    Fleet fleet(1);
+    fleet.start();
+    fleet.submit("only", [] {});
+    std::vector<Fleet::JobResult> last = fleet.shutdown();
+    ASSERT_EQ(last.size(), 1u);
+    EXPECT_TRUE(last[0].ok);
+
+    EXPECT_THROW(fleet.submit("too-late", [] {}), FatalError);
+    try {
+        fleet.submit("too-late", [] {});
+        FAIL() << "submit after shutdown() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("after shutdown()"),
+                  std::string::npos)
+            << e.what();
+    }
+    // The channel is closed for good: restart and re-shutdown are errors.
+    EXPECT_THROW(fleet.start(), FatalError);
+    EXPECT_THROW(fleet.shutdown(), FatalError);
+}
+
+TEST(Fleet, ParkedJobSurvivesBetweenEpochsUntilNotified)
+{
+    // Between drains a parked job is NOT a rendezvous deadlock: the owner
+    // can still notify() it. Only a drain turns "parked with no runnable
+    // peer" into a failure.
+    Fleet fleet(2);
+    fleet.start();
+    std::atomic<unsigned> steps{0};
+    std::size_t waiter = fleet.submitResumable("waiter", [&steps] {
+        return ++steps == 1 ? Fleet::StepOutcome::Blocked
+                            : Fleet::StepOutcome::Done;
+    });
+    // Let the first step park the job.
+    while (steps.load() == 0)
+        std::this_thread::yield();
+    fleet.notify(waiter); // external wake between epochs
+    std::vector<Fleet::JobResult> results = fleet.drain();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(steps.load(), 2u);
+    fleet.shutdown();
+}
+
+TEST(Fleet, RunMayCarryMidRunSpawnsDeterministically)
+{
+    // The legacy batch call accepts submissions from job bodies too (the
+    // batch is just one pool epoch); the result layout is identical at any
+    // worker count.
+    std::vector<std::string> refNames;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        SCOPED_TRACE(std::to_string(threads) + " threads");
+        Fleet fleet(threads);
+        for (int i = 0; i < 3; ++i) {
+            fleet.add("root" + std::to_string(i), [&fleet, i] {
+                for (int c = 0; c < 2; ++c) {
+                    fleet.submit("spawn" + std::to_string(i) +
+                                     std::to_string(c),
+                                 [] {});
+                }
+            });
+        }
+        std::vector<Fleet::JobResult> results = fleet.run();
+        ASSERT_EQ(results.size(), 9u);
+        std::vector<std::string> names;
+        names.reserve(results.size());
+        for (const Fleet::JobResult &r : results) {
+            EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+            names.push_back(r.name);
+        }
+        if (refNames.empty())
+            refNames = names;
+        else
+            EXPECT_EQ(names, refNames);
+    }
 }
 
 } // namespace

@@ -43,7 +43,7 @@ if "schema_version" in doc:
     if not doc.get("current"):
         sys.exit(f"bench.sh: {path}: missing or empty 'current' section")
     if doc.get("bench") in ("host_tput", "fleet_tput", "fleet_clone",
-                            "fleet_ring"):
+                            "fleet_ring", "fleet_pool"):
         # The throughput benches must record which KVMARM_CHECK modes the
         # run covered ("off,enforce", or "disabled" under the
         # -DKVMARM_INVARIANTS=OFF kill switch).
@@ -66,7 +66,7 @@ EOF
             echo "bench.sh: $file: no schema marker found" >&2
             return 1
         fi
-        if grep -q '"bench": "\(host_tput\|fleet_tput\|fleet_clone\|fleet_ring\)"' "$file" &&
+        if grep -q '"bench": "\(host_tput\|fleet_tput\|fleet_clone\|fleet_ring\|fleet_pool\)"' "$file" &&
             ! grep -q '"kvmarm_check"' "$file"; then
             echo "bench.sh: $file: missing 'kvmarm_check' field" >&2
             return 1
@@ -76,7 +76,7 @@ EOF
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target \
-    host_tput fleet_tput fleet_clone fleet_ring \
+    host_tput fleet_tput fleet_clone fleet_ring fleet_pool \
     table1_state table3_micro table4_loc \
     fig3_lmbench_up fig4_lmbench_smp fig5_apps_up fig6_apps_smp \
     fig7_energy ablation_split_mode ablation_vgic ablation_ipi \
@@ -121,6 +121,13 @@ if [ "$selected" = all ] || [[ " $selected " == *" fleet_ring "* ]]; then
     "$BUILD/bench/fleet_ring" ${REBASE:+--rebaseline} \
         --out BENCH_fleet_ring.json
     validate_json BENCH_fleet_ring.json
+fi
+
+if [ "$selected" = all ] || [[ " $selected " == *" fleet_pool "* ]]; then
+    echo "==== bench: fleet_pool ===="
+    "$BUILD/bench/fleet_pool" ${REBASE:+--rebaseline} \
+        --out BENCH_fleet_pool.json
+    validate_json BENCH_fleet_pool.json
 fi
 
 for b in table1_state table3_micro table4_loc fig3_lmbench_up \

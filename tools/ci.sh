@@ -33,7 +33,7 @@ leg_release() {
     # across thread counts (and against snapshot clones) while each engine
     # checks its own machine.
     env KVMARM_CHECK=enforce ctest --test-dir build-ci-release \
-        --output-on-failure -R 'FleetDeterminism|FleetClone'
+        --output-on-failure -R 'FleetDeterminism|FleetClone|FleetStress'
 }
 
 leg_asan() {
@@ -54,10 +54,16 @@ leg_tsan() {
     cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DKVMARM_SANITIZE=thread
     cmake --build build-ci-tsan -j"$JOBS" \
-        --target fleet_tput fleet_clone fleet_ring fleet_test
+        --target fleet_tput fleet_clone fleet_ring fleet_pool \
+        fleet_test fleet_stress_test
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --test-dir build-ci-tsan --output-on-failure \
         -L sanitize-thread -R '^Fleet'
+    # The seeded stress schedule under TSan: live submissions, mid-run
+    # spawns, ring rendezvous and park/notify all race-checked at up to
+    # 8 workers (the suite sweeps 1/2/4/8 internally).
+    TSAN_OPTIONS=halt_on_error=1 \
+        ctest --test-dir build-ci-tsan --output-on-failure -L stress
     # Enforce-mode fleet under TSan: the per-machine engines' checked hot
     # path takes no locks, so this is the proof it is race-free.
     TSAN_OPTIONS=halt_on_error=1 \
@@ -76,6 +82,10 @@ leg_tsan() {
     # cycle-stamped messages; the bench's built-in bit-identity gate runs
     # with race detection live.
     TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_ring --smoke
+    # fleet_pool --smoke under TSan: worker threads submit clone jobs into
+    # the live channel from inside running jobs while other workers steal
+    # them — the scheduler-mutation race TSan is here to rule out.
+    TSAN_OPTIONS=halt_on_error=1 build-ci-tsan/bench/fleet_pool --smoke
 }
 
 leg_enforce() {
@@ -97,11 +107,13 @@ leg_bench() {
     # require its cycle table to match the committed golden output exactly.
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-ci-release -j"$JOBS" \
-        --target host_tput fleet_tput fleet_clone fleet_ring table3_micro
+        --target host_tput fleet_tput fleet_clone fleet_ring fleet_pool \
+        table3_micro
     build-ci-release/bench/host_tput --smoke
     build-ci-release/bench/fleet_tput --smoke
     build-ci-release/bench/fleet_clone --smoke
     build-ci-release/bench/fleet_ring --smoke
+    build-ci-release/bench/fleet_pool --smoke
     build-ci-release/bench/table3_micro 2>/dev/null | sed -n '/===/,$p' \
         > build-ci-release/table3_micro.out
     diff -u bench/golden/table3_micro.txt build-ci-release/table3_micro.out
